@@ -1,0 +1,66 @@
+//! Quick feasibility smoke run: one scheme, one trace profile, printed
+//! report. Not a paper experiment — a harness check.
+//!
+//! Usage: `smoke [scheme] [trace] [hours]` (defaults: RoLo-P, src2_2, 24).
+//! Set `ROLO_E_SPINDOWN_SECS` to override RoLo-E's idle spin-down timeout.
+
+use rolo_core::{Scheme, SimConfig};
+use rolo_sim::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scheme = match args.get(1).map(String::as_str) {
+        Some("raid10") => Scheme::Raid10,
+        Some("graid") => Scheme::Graid,
+        Some("rolo-r") => Scheme::RoloR,
+        Some("rolo-e") => Scheme::RoloE,
+        _ => Scheme::RoloP,
+    };
+    let profile = rolo_trace::profiles::by_name(args.get(2).map(String::as_str).unwrap_or("src2_2"))
+        .expect("unknown trace profile");
+    let hours: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+
+    let mut cfg = SimConfig::paper_default(scheme, 20);
+    if let Ok(secs) = std::env::var("ROLO_E_SPINDOWN_SECS") {
+        cfg.roloe_idle_spindown = Duration::from_secs(secs.parse().unwrap());
+    }
+    let dur = Duration::from_secs(hours * 3600);
+    let start = std::time::Instant::now();
+    let report = rolo_core::run_scheme(&cfg, profile.generator(dur, 1), dur);
+    let wall = start.elapsed();
+
+    println!("scheme          : {}", report.scheme);
+    println!("trace           : {} for {hours} h", profile.name);
+    println!("requests        : {}", report.user_requests);
+    println!("energy          : {}", rolo_bench::mj(report.total_energy_j));
+    println!("mean response   : {:.2} ms", report.mean_response_ms());
+    println!("spin cycles     : {}", report.spin_cycles);
+    println!("rotations       : {}", report.policy.rotations);
+    println!("destage cycles  : {}", report.policy.destage_cycles);
+    println!("destaged        : {:.2} GiB", report.policy.destaged_bytes as f64 / (1u64 << 30) as f64);
+    println!("logged          : {:.2} GiB", report.policy.log_appended_bytes as f64 / (1u64 << 30) as f64);
+    println!("cache hit rate  : {:.2} %", report.policy.cache_hit_rate() * 100.0);
+    println!("consistency     : {:?}", report.consistency);
+    for p in [50.0, 90.0, 99.0] {
+        println!("  p{p:<5} write  : {:?}", report.write_responses.percentile(p));
+    }
+    println!("drained at      : {}", report.drained_at);
+    println!("wall clock      : {wall:.2?}");
+    println!(
+        "phases: logging {} spans / {:.1}h, destaging {} spans / {:.2}h (ratio {:.3})",
+        report.logging_phase.spans,
+        report.logging_phase.residency.as_secs_f64() / 3600.0,
+        report.destaging_phase.spans,
+        report.destaging_phase.residency.as_secs_f64() / 3600.0,
+        report.destaging_interval_ratio,
+    );
+    let a = &report.aggregate_energy;
+    println!(
+        "disk-time: active {:.1}h idle {:.1}h standby {:.1}h spin-up {:.1}h spin-down {:.1}h",
+        a.active.as_secs_f64() / 3600.0,
+        a.idle.as_secs_f64() / 3600.0,
+        a.standby.as_secs_f64() / 3600.0,
+        a.spinning_up.as_secs_f64() / 3600.0,
+        a.spinning_down.as_secs_f64() / 3600.0,
+    );
+}

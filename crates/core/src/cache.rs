@@ -1,0 +1,169 @@
+//! LRU block cache used by RoLo-E's popular-read caching (§III-B3).
+//!
+//! RoLo-E keeps popular read blocks in the on-duty logging space "to
+//! avoid the passive and expensive disk spin up/down caused by read
+//! misses". The cache is block-granular (one stripe unit per block) and
+//! strictly LRU; capacity is a fixed share of the logging space.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Fixed-capacity LRU set of block numbers.
+///
+/// # Example
+///
+/// ```
+/// use rolo_core::cache::BlockCache;
+///
+/// let mut c = BlockCache::new(2);
+/// c.insert(1);
+/// c.insert(2);
+/// assert!(c.contains(1));
+/// c.touch(1);       // 1 is now most recent
+/// c.insert(3);      // evicts 2
+/// assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockCache {
+    capacity: usize,
+    by_block: HashMap<u64, u64>,
+    by_seq: BTreeMap<u64, u64>,
+    next_seq: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks (zero disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        BlockCache {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Maximum number of blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently resident.
+    pub fn len(&self) -> usize {
+        self.by_block.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_block.is_empty()
+    }
+
+    /// True if `block` is resident (does not affect recency).
+    pub fn contains(&self, block: u64) -> bool {
+        self.by_block.contains_key(&block)
+    }
+
+    /// Marks `block` most-recently-used if resident.
+    pub fn touch(&mut self, block: u64) {
+        if let Some(seq) = self.by_block.get(&block).copied() {
+            self.by_seq.remove(&seq);
+            let s = self.next_seq;
+            self.next_seq += 1;
+            self.by_seq.insert(s, block);
+            self.by_block.insert(block, s);
+        }
+    }
+
+    /// Inserts `block` (as most-recent), evicting the LRU block if full.
+    /// Returns the evicted block, if any.
+    pub fn insert(&mut self, block: u64) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.contains(block) {
+            self.touch(block);
+            return None;
+        }
+        let mut evicted = None;
+        if self.by_block.len() >= self.capacity {
+            if let Some((&seq, &victim)) = self.by_seq.iter().next() {
+                self.by_seq.remove(&seq);
+                self.by_block.remove(&victim);
+                evicted = Some(victim);
+            }
+        }
+        let s = self.next_seq;
+        self.next_seq += 1;
+        self.by_seq.insert(s, block);
+        self.by_block.insert(block, s);
+        evicted
+    }
+
+    /// Drops everything (logging space was reclaimed/rotated).
+    pub fn clear(&mut self) {
+        self.by_block.clear();
+        self.by_seq.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut c = BlockCache::new(0);
+        assert!(c.insert(1).is_none());
+        assert!(!c.contains(1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BlockCache::new(3);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3);
+        assert_eq!(c.insert(4), Some(1));
+        c.touch(2);
+        assert_eq!(c.insert(5), Some(3));
+        assert!(c.contains(2) && c.contains(4) && c.contains(5));
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let mut c = BlockCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.insert(1).is_none()); // refresh, no eviction
+        assert_eq!(c.insert(3), Some(2)); // 2 was LRU after refresh
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = BlockCache::new(4);
+        c.insert(1);
+        c.insert(2);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_exceeds_capacity(ops in proptest::collection::vec(0u64..100, 1..300), cap in 1usize..16) {
+            let mut c = BlockCache::new(cap);
+            for b in ops {
+                c.insert(b);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn prop_insert_makes_resident(blocks in proptest::collection::vec(0u64..50, 1..100)) {
+            let mut c = BlockCache::new(8);
+            for b in blocks {
+                c.insert(b);
+                prop_assert!(c.contains(b));
+            }
+        }
+    }
+}

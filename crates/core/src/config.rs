@@ -1,0 +1,252 @@
+//! Simulation configuration: array shape, scheme selection, tunables.
+
+use rolo_disk::{DiskParams, SchedulerKind};
+use rolo_raid::{ArrayGeometry, GeometryError};
+use rolo_sim::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which controller runs the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain RAID10: every disk active, writes mirrored synchronously.
+    Raid10,
+    /// GRAID (Mao et al., MASCOTS'08): dedicated log disk, mirrors
+    /// standby, centralized destaging at a log-occupancy threshold.
+    Graid,
+    /// RoLo-P: rotated logging on one mirrored disk at a time,
+    /// decentralized destaging; primaries always on (§III-B1).
+    RoloP,
+    /// RoLo-R: like RoLo-P but the logger is a mirrored pair, giving
+    /// three copies of every write (§III-B2).
+    RoloR,
+    /// RoLo-E: only one mirrored pair active (log + read cache); every
+    /// other disk spun down; centralized destaging when the log fills
+    /// (§III-B3).
+    RoloE,
+}
+
+impl Scheme {
+    /// All schemes in the paper's presentation order.
+    pub fn all() -> [Scheme; 5] {
+        [
+            Scheme::Raid10,
+            Scheme::Graid,
+            Scheme::RoloP,
+            Scheme::RoloR,
+            Scheme::RoloE,
+        ]
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::Raid10 => "RAID10",
+            Scheme::Graid => "GRAID",
+            Scheme::RoloP => "RoLo-P",
+            Scheme::RoloR => "RoLo-R",
+            Scheme::RoloE => "RoLo-E",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Controller scheme.
+    pub scheme: Scheme,
+    /// Number of mirrored pairs (the paper uses 10–20, i.e. 20–40 disks).
+    pub pairs: usize,
+    /// Stripe unit in bytes (Table II: 16/32/64 KB; default 64 KB).
+    pub stripe_unit: u64,
+    /// Per-disk logger region ("free space"; Table II: 8/6/4 GB).
+    pub logger_region: u64,
+    /// Dedicated log-disk capacity for GRAID (Table II: 16 GB).
+    pub graid_log_capacity: u64,
+    /// Log occupancy fraction that triggers centralized destaging
+    /// (the paper's example: 80 %).
+    pub destage_threshold: f64,
+    /// RoLo rotates its logger when the on-duty logger's free space falls
+    /// below this fraction of the region.
+    pub rotate_free_threshold: f64,
+    /// Maximum bytes per destage I/O (spatial-locality bundling).
+    pub destage_chunk: u64,
+    /// Idle time a disk must observe (no foreground activity) before it
+    /// dispatches background destage I/O — the "short idle time slot"
+    /// detector of §III-A.
+    pub bg_idle_guard: Duration,
+    /// RoLo: proactively spin up the next on-duty logger before rotation
+    /// is due (rate-based look-ahead). Disable only for ablation studies —
+    /// without it every rotation stalls writes behind a 10.9 s spin-up.
+    pub eager_spinup: bool,
+    /// RoLo-P/R: number of simultaneously on-duty logger mirrors, and
+    /// RoLo-E: number of on-duty logger *pairs* (§III-B "one or a few" /
+    /// "one or several"; §III-D's bottleneck-alleviation knob). Each
+    /// extra logger trades idle power for append bandwidth.
+    pub rolo_on_duty: usize,
+    /// RoLo-E: idle time after which a read-miss-awakened pair is spun
+    /// back down.
+    pub roloe_idle_spindown: Duration,
+    /// RoLo-E: fraction of the logger region reserved for the popular
+    /// read-block cache (the rest takes log appends).
+    pub roloe_cache_fraction: f64,
+    /// Foreground queue-scheduling discipline of every disk.
+    pub scheduler: SchedulerKind,
+    /// Disk model parameters.
+    pub disk: DiskParams,
+    /// RNG seed for the disk service models.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default configuration (Table II) for `scheme` on
+    /// `pairs` mirrored pairs: 64 KB stripe unit, 8 GB free space per
+    /// disk, 16 GB GRAID log disk, 80 % destage threshold, IBM Ultrastar
+    /// 36Z15 disks.
+    pub fn paper_default(scheme: Scheme, pairs: usize) -> Self {
+        SimConfig {
+            scheme,
+            pairs,
+            stripe_unit: 64 * 1024,
+            logger_region: 8 << 30,
+            graid_log_capacity: 16 << 30,
+            destage_threshold: 0.8,
+            rotate_free_threshold: 0.01,
+            destage_chunk: 64 * 1024,
+            bg_idle_guard: Duration::from_millis(10),
+            eager_spinup: true,
+            rolo_on_duty: 1,
+            roloe_idle_spindown: Duration::from_secs(30),
+            roloe_cache_fraction: 0.5,
+            scheduler: SchedulerKind::Fifo,
+            disk: DiskParams::ultrastar_36z15(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Per-disk data-region size: the capacity not set aside for logging,
+    /// rounded down to a whole stripe unit.
+    pub fn data_region(&self) -> u64 {
+        let data = self.disk.capacity_bytes.saturating_sub(self.logger_region);
+        (data / self.stripe_unit) * self.stripe_unit
+    }
+
+    /// Builds the RAID10 geometry implied by this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GeometryError`] for degenerate shapes (zero pairs,
+    /// logger region exceeding the disk, …).
+    pub fn geometry(&self) -> Result<ArrayGeometry, GeometryError> {
+        if self.data_region() == 0 {
+            return Err(GeometryError::InvalidConfig(format!(
+                "logger region {} leaves no data region on a {}-byte disk",
+                self.logger_region, self.disk.capacity_bytes
+            )));
+        }
+        ArrayGeometry::new(
+            self.pairs,
+            self.stripe_unit,
+            self.data_region(),
+            self.logger_region,
+        )
+    }
+
+    /// Total number of physical disks, including GRAID's dedicated log
+    /// disk when applicable.
+    pub fn disk_count(&self) -> usize {
+        self.pairs * 2 + usize::from(self.scheme == Scheme::Graid)
+    }
+
+    /// Disk id of GRAID's dedicated log disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not [`Scheme::Graid`].
+    pub fn graid_log_disk(&self) -> usize {
+        assert_eq!(self.scheme, Scheme::Graid, "no log disk in {}", self.scheme);
+        self.pairs * 2
+    }
+
+    /// Validates tunables that the geometry check does not cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range thresholds or a zero destage chunk, which
+    /// would otherwise cause silent misbehaviour mid-run.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.destage_threshold) && self.destage_threshold > 0.0,
+            "destage threshold out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.rotate_free_threshold),
+            "rotate threshold out of range"
+        );
+        assert!(self.destage_chunk > 0, "zero destage chunk");
+        assert!(
+            self.rolo_on_duty >= 1 && self.rolo_on_duty < self.pairs.max(2),
+            "rolo_on_duty out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.roloe_cache_fraction),
+            "cache fraction out of range"
+        );
+        assert!(
+            self.graid_log_capacity > 0 || self.scheme != Scheme::Graid,
+            "GRAID requires a log disk capacity"
+        );
+        assert!(
+            self.graid_log_capacity <= self.disk.capacity_bytes,
+            "GRAID log capacity exceeds the disk"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_ii() {
+        let c = SimConfig::paper_default(Scheme::RoloP, 20);
+        assert_eq!(c.stripe_unit, 64 * 1024);
+        assert_eq!(c.logger_region, 8 << 30);
+        assert_eq!(c.graid_log_capacity, 16 << 30);
+        assert_eq!(c.disk_count(), 40);
+        c.validate();
+        let geo = c.geometry().unwrap();
+        assert_eq!(geo.pairs(), 20);
+        // 18.4 GB disk minus 8 GiB logger ≈ 10 GB data region.
+        assert!(geo.data_region() > 9 << 30);
+        assert!(geo.data_region() % c.stripe_unit == 0);
+    }
+
+    #[test]
+    fn graid_gets_extra_disk() {
+        let c = SimConfig::paper_default(Scheme::Graid, 10);
+        assert_eq!(c.disk_count(), 21);
+        assert_eq!(c.graid_log_disk(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no log disk")]
+    fn log_disk_only_for_graid() {
+        SimConfig::paper_default(Scheme::Raid10, 10).graid_log_disk();
+    }
+
+    #[test]
+    fn oversized_logger_region_rejected() {
+        let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
+        c.logger_region = c.disk.capacity_bytes + 1;
+        assert!(c.geometry().is_err());
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        let names: Vec<String> = Scheme::all().iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["RAID10", "GRAID", "RoLo-P", "RoLo-R", "RoLo-E"]);
+    }
+}

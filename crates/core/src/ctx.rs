@@ -1,0 +1,400 @@
+//! Shared simulation context handed to controller policies.
+//!
+//! [`SimCtx`] owns the disks, user-request bookkeeping and metric sinks.
+//! Policies call [`SimCtx::submit`]/[`SimCtx::spin_down`]/… and the driver
+//! drains the accumulated disk wakes and timers into its event queue after
+//! every callback, so policies never touch the queue directly.
+
+use crate::config::SimConfig;
+use rolo_disk::{Disk, DiskId, DiskRequest, DiskWake, IoKind, Priority};
+use rolo_disk::{DiskEnergyReport, PowerState};
+use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
+use rolo_raid::ArrayGeometry;
+use rolo_sim::{Duration, SimRng, SimTime};
+use rolo_trace::ReqKind;
+use std::collections::HashMap;
+
+/// Outcome of the final sub-request of a user request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedUser {
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Measured response time.
+    pub response: Duration,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    kind: ReqKind,
+    arrival: SimTime,
+    subs_left: u32,
+}
+
+/// Shared context: disks, request tracking, metric sinks.
+#[derive(Debug)]
+pub struct SimCtx {
+    /// Current simulated time (set by the driver before each callback).
+    pub now: SimTime,
+    geometry: ArrayGeometry,
+    disks: Vec<Disk>,
+    pending_wakes: Vec<(DiskId, DiskWake)>,
+    pending_timers: Vec<(SimTime, u64)>,
+    outstanding: HashMap<u64, Outstanding>,
+    next_io_id: u64,
+    /// Response-time statistics over all user requests.
+    pub responses: ResponseStats,
+    /// Response-time statistics over reads only.
+    pub read_responses: ResponseStats,
+    /// Response-time statistics over writes only.
+    pub write_responses: ResponseStats,
+    /// Logging/destaging phase tracker.
+    pub intervals: IntervalTracker,
+    /// Occupied logging capacity over time (bytes).
+    pub log_timeline: Timeline,
+    /// Sampled aggregate power draw over time (watts).
+    pub power_timeline: Timeline,
+}
+
+impl SimCtx {
+    /// Builds the context: one disk per [`SimConfig::disk_count`], each
+    /// with a forked deterministic RNG stream. `standby` selects the
+    /// disks that begin spun down.
+    pub fn new(cfg: &SimConfig, geometry: ArrayGeometry, standby: &[bool]) -> Self {
+        assert_eq!(standby.len(), cfg.disk_count(), "standby mask length");
+        let rng = SimRng::seed_from(cfg.seed);
+        let disks = (0..cfg.disk_count())
+            .map(|id| {
+                let state = if standby[id] {
+                    PowerState::Standby
+                } else {
+                    PowerState::Idle
+                };
+                let mut disk = Disk::with_initial_state(
+                    id,
+                    cfg.disk.clone(),
+                    rng.fork(&format!("disk-{id}")),
+                    state,
+                );
+                disk.set_bg_idle_guard(cfg.bg_idle_guard);
+                disk.set_scheduler(cfg.scheduler);
+                disk
+            })
+            .collect();
+        SimCtx {
+            now: SimTime::ZERO,
+            geometry,
+            disks,
+            pending_wakes: Vec::new(),
+            pending_timers: Vec::new(),
+            outstanding: HashMap::new(),
+            next_io_id: 1,
+            responses: ResponseStats::new(),
+            read_responses: ResponseStats::new(),
+            write_responses: ResponseStats::new(),
+            intervals: IntervalTracker::new(),
+            log_timeline: Timeline::new(Duration::from_secs(60)),
+            power_timeline: Timeline::new(Duration::from_secs(30)),
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &ArrayGeometry {
+        &self.geometry
+    }
+
+    /// Immutable view of a disk.
+    pub fn disk(&self, id: DiskId) -> &Disk {
+        &self.disks[id]
+    }
+
+    /// All disks.
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// Number of disks.
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Allocates a fresh sub-request id for policy bookkeeping.
+    pub fn alloc_io_id(&mut self) -> u64 {
+        let id = self.next_io_id;
+        self.next_io_id += 1;
+        id
+    }
+
+    /// Submits a sub-request to `disk`, returning its id.
+    pub fn submit(
+        &mut self,
+        disk: DiskId,
+        kind: IoKind,
+        offset: u64,
+        bytes: u64,
+        priority: Priority,
+    ) -> u64 {
+        let id = self.alloc_io_id();
+        self.submit_with_id(disk, id, kind, offset, bytes, priority);
+        id
+    }
+
+    /// Submits a sub-request with a caller-chosen id.
+    pub fn submit_with_id(
+        &mut self,
+        disk: DiskId,
+        id: u64,
+        kind: IoKind,
+        offset: u64,
+        bytes: u64,
+        priority: Priority,
+    ) {
+        let req = DiskRequest::new(id, kind, offset, bytes, priority);
+        let now = self.now;
+        if let Some(w) = self.disks[disk].submit(req, now) {
+            self.pending_wakes.push((disk, w));
+        }
+    }
+
+    /// Asks `disk` to spin down as soon as it drains (park semantics:
+    /// immediate if idle, deferred to the last completion otherwise; any
+    /// new submission cancels it).
+    pub fn spin_down(&mut self, disk: DiskId) {
+        let now = self.now;
+        if let Some(w) = self.disks[disk].park_when_idle(now) {
+            self.pending_wakes.push((disk, w));
+        }
+    }
+
+    /// Spins `disk` up if it is in standby.
+    pub fn spin_up(&mut self, disk: DiskId) {
+        let now = self.now;
+        if let Some(w) = self.disks[disk].spin_up(now) {
+            self.pending_wakes.push((disk, w));
+        }
+    }
+
+    /// Schedules a policy timer `delay` from now carrying `token`.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.pending_timers.push((self.now + delay, token));
+    }
+
+    /// Driver hook: drains wakes accumulated since the last call.
+    pub fn take_wakes(&mut self) -> Vec<(DiskId, DiskWake)> {
+        std::mem::take(&mut self.pending_wakes)
+    }
+
+    /// Driver hook: drains pending timers.
+    pub fn take_timers(&mut self) -> Vec<(SimTime, u64)> {
+        std::mem::take(&mut self.pending_timers)
+    }
+
+    /// Driver hook: delivers a disk wake back to the disk, pushing any
+    /// follow-up wake. For I/O completions, returns the finished request.
+    pub fn deliver_wake(&mut self, disk: DiskId, wake_kind: WakeKind) -> Option<DiskRequest> {
+        let now = self.now;
+        match wake_kind {
+            WakeKind::Io => {
+                let out = self.disks[disk].on_io_complete(now);
+                if let Some(w) = out.next {
+                    self.pending_wakes.push((disk, w));
+                }
+                Some(out.completed)
+            }
+            WakeKind::SpinUp => {
+                if let Some(w) = self.disks[disk].on_spin_up_complete(now) {
+                    self.pending_wakes.push((disk, w));
+                }
+                None
+            }
+            WakeKind::SpinDown => {
+                if let Some(w) = self.disks[disk].on_spin_down_complete(now) {
+                    self.pending_wakes.push((disk, w));
+                }
+                None
+            }
+            WakeKind::BgRetry => {
+                if let Some(w) = self.disks[disk].on_bg_retry(now) {
+                    self.pending_wakes.push((disk, w));
+                }
+                None
+            }
+        }
+    }
+
+    /// Registers a user request with `subs` outstanding sub-requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` is zero or the id is already registered.
+    pub fn register_user(&mut self, user_id: u64, kind: ReqKind, arrival: SimTime, subs: u32) {
+        assert!(subs > 0, "user request with zero sub-requests");
+        let prev = self.outstanding.insert(
+            user_id,
+            Outstanding {
+                kind,
+                arrival,
+                subs_left: subs,
+            },
+        );
+        assert!(prev.is_none(), "duplicate user request id {user_id}");
+    }
+
+    /// Adds more pending sub-requests to an in-flight user request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown.
+    pub fn add_user_subs(&mut self, user_id: u64, subs: u32) {
+        self.outstanding
+            .get_mut(&user_id)
+            .unwrap_or_else(|| panic!("unknown user request {user_id}"))
+            .subs_left += subs;
+    }
+
+    /// Marks one sub-request of `user_id` complete. When the last one
+    /// lands, records the response time and returns the completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is unknown.
+    pub fn user_sub_done(&mut self, user_id: u64) -> Option<CompletedUser> {
+        let o = self
+            .outstanding
+            .get_mut(&user_id)
+            .unwrap_or_else(|| panic!("unknown user request {user_id}"));
+        o.subs_left -= 1;
+        if o.subs_left > 0 {
+            return None;
+        }
+        let o = self.outstanding.remove(&user_id).expect("present");
+        let response = self.now.since(o.arrival);
+        self.responses.record(response);
+        match o.kind {
+            ReqKind::Read => self.read_responses.record(response),
+            ReqKind::Write => self.write_responses.record(response),
+        }
+        Some(CompletedUser {
+            kind: o.kind,
+            response,
+        })
+    }
+
+    /// Number of user requests still in flight.
+    pub fn outstanding_users(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Energy reports for every disk as of `now`.
+    pub fn energy_by_disk(&self) -> Vec<DiskEnergyReport> {
+        self.disks.iter().map(|d| d.energy_report(self.now)).collect()
+    }
+
+    /// Instantaneous aggregate power draw of the array (W).
+    pub fn total_power_w(&self) -> f64 {
+        self.disks.iter().map(|d| d.current_power_w()).sum()
+    }
+
+    /// Total array energy (J) as of `now`.
+    pub fn total_energy(&self) -> f64 {
+        self.disks
+            .iter()
+            .map(|d| d.energy_report(self.now).total_joules)
+            .sum()
+    }
+
+    /// Total spin cycles (spin-ups) across the array so far.
+    pub fn spin_cycles(&self) -> u64 {
+        self.disks
+            .iter()
+            .map(|d| d.energy_report(self.now).spin_ups)
+            .sum()
+    }
+}
+
+/// Which disk wake a driver event corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeKind {
+    /// An I/O completion.
+    Io,
+    /// A spin-up completion.
+    SpinUp,
+    /// A spin-down completion.
+    SpinDown,
+    /// A deferred-background retry.
+    BgRetry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    fn ctx() -> SimCtx {
+        let cfg = SimConfig::paper_default(Scheme::Raid10, 2);
+        let geo = cfg.geometry().unwrap();
+        let standby = vec![false; cfg.disk_count()];
+        SimCtx::new(&cfg, geo, &standby)
+    }
+
+    #[test]
+    fn submit_produces_wake() {
+        let mut c = ctx();
+        c.submit(0, IoKind::Write, 0, 4096, Priority::Foreground);
+        let wakes = c.take_wakes();
+        assert_eq!(wakes.len(), 1);
+        assert!(c.take_wakes().is_empty(), "take_wakes drains");
+    }
+
+    #[test]
+    fn user_tracking_counts_subs() {
+        let mut c = ctx();
+        c.register_user(7, ReqKind::Write, SimTime::ZERO, 2);
+        c.now = SimTime::from_millis(5);
+        assert!(c.user_sub_done(7).is_none());
+        let done = c.user_sub_done(7).unwrap();
+        assert_eq!(done.kind, ReqKind::Write);
+        assert_eq!(done.response, Duration::from_millis(5));
+        assert_eq!(c.responses.count(), 1);
+        assert_eq!(c.write_responses.count(), 1);
+        assert_eq!(c.read_responses.count(), 0);
+        assert_eq!(c.outstanding_users(), 0);
+    }
+
+    #[test]
+    fn add_user_subs_extends() {
+        let mut c = ctx();
+        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+        c.add_user_subs(1, 1);
+        assert!(c.user_sub_done(1).is_none());
+        assert!(c.user_sub_done(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate user request id")]
+    fn duplicate_user_rejected() {
+        let mut c = ctx();
+        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+    }
+
+    #[test]
+    fn standby_mask_respected() {
+        let cfg = SimConfig::paper_default(Scheme::Raid10, 2);
+        let geo = cfg.geometry().unwrap();
+        let standby = vec![false, false, true, true];
+        let c = SimCtx::new(&cfg, geo, &standby);
+        assert_eq!(c.disk(0).power_state(), PowerState::Idle);
+        assert_eq!(c.disk(2).power_state(), PowerState::Standby);
+        assert_eq!(c.spin_cycles(), 0, "initial standby costs no spin cycle");
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut c = ctx();
+        c.now = SimTime::from_secs(10);
+        let e = c.total_energy();
+        // 4 idle disks × 10.2 W × 10 s.
+        assert!((e - 4.0 * 10.2 * 10.0).abs() < 1e-6, "{e}");
+        assert_eq!(c.energy_by_disk().len(), 4);
+    }
+}

@@ -1,0 +1,362 @@
+//! The simulation driver: event loop tying traces, policies and disks
+//! together.
+//!
+//! The driver owns the event queue. Policies accumulate disk wakes and
+//! timers in the [`SimCtx`]; after every callback the driver drains them
+//! into the queue. A `TraceEnd` marker event at the configured duration
+//! snapshots all comparable metrics (energy, spin counts, phase ratios)
+//! *before* the drain phase, so schemes with different amounts of
+//! leftover destage work still compare over identical wall time. The
+//! drain then pushes every stale block to its mirror and the policy's
+//! consistency audit runs — the master invariant of the whole simulator.
+
+use crate::config::SimConfig;
+use crate::ctx::{SimCtx, WakeKind};
+use crate::policy::Policy;
+use crate::report::SimReport;
+use rolo_disk::{DiskEnergyReport, DiskId, DiskWake};
+use rolo_metrics::Phase;
+use rolo_sim::{Duration, EventQueue, SimTime};
+use rolo_trace::TraceRecord;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival,
+    DiskIo(DiskId),
+    DiskSpinUp(DiskId),
+    DiskSpinDown(DiskId),
+    DiskBgRetry(DiskId),
+    Timer(u64),
+    PowerSample,
+    TraceEnd,
+}
+
+/// Snapshot captured at the `TraceEnd` marker.
+#[derive(Debug, Default)]
+struct TraceEndSnapshot {
+    energy_by_disk: Vec<DiskEnergyReport>,
+    spin_cycles: u64,
+    interval_ratio: f64,
+    energy_ratio: f64,
+    logging: rolo_metrics::PhaseSummary,
+    destaging: rolo_metrics::PhaseSummary,
+}
+
+/// Runs `policy` over `records` for `duration`, then drains and audits.
+///
+/// Records with arrivals at or beyond `duration` are ignored. Offsets are
+/// wrapped into the array's logical address space, so traces larger than
+/// the array replay without modification.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulation stalls (a
+/// policy bug: events exhausted while work remains).
+pub fn run_trace<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    policy: P,
+    duration: Duration,
+) -> SimReport {
+    run_trace_returning(cfg, records, policy, duration).0
+}
+
+/// Like [`run_trace`], but also hands the policy back so callers can
+/// inspect its end state (e.g. feed a live logger history into
+/// [`crate::recovery::recovery_plan`]).
+pub fn run_trace_returning<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    mut policy: P,
+    duration: Duration,
+) -> (SimReport, P) {
+    cfg.validate();
+    let geometry = cfg.geometry().expect("invalid geometry");
+    let standby: Vec<bool> = (0..cfg.disk_count())
+        .map(|d| policy.initial_standby(d))
+        .collect();
+    let mut ctx = SimCtx::new(cfg, geometry, &standby);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let logical_capacity = ctx.geometry().logical_capacity();
+
+    policy.attach(&mut ctx);
+    drain_ctx(&mut ctx, &mut queue);
+
+    let mut records = records.into_iter().peekable();
+    let trace_end = SimTime::ZERO + duration;
+    queue.schedule(trace_end, Event::TraceEnd);
+    // Sample aggregate power ~1000 times over the window (min 1 s apart).
+    let sample_every = Duration::from_micros((duration.as_micros() / 1000).max(1_000_000));
+    queue.schedule(SimTime::ZERO + sample_every, Event::PowerSample);
+    if let Some(first) = records.peek() {
+        if first.arrival < trace_end {
+            queue.schedule(first.arrival, Event::Arrival);
+        }
+    }
+
+    let mut next_user_id: u64 = 1;
+    let mut snapshot: Option<TraceEndSnapshot> = None;
+    let mut trace_done = false;
+    let mut stall_kicks = 0u32;
+
+    loop {
+        let Some(ev) = queue.pop() else {
+            if !trace_done {
+                panic!("event queue empty before trace end");
+            }
+            if policy.is_drained(&ctx) {
+                break;
+            }
+            // Kick the drain; a correct policy makes progress or is done.
+            stall_kicks += 1;
+            assert!(
+                stall_kicks < 64,
+                "{}: simulation stalled during drain: {} users outstanding; consistency: {:?}",
+                policy.name(),
+                ctx.outstanding_users(),
+                policy.check_consistency(&ctx)
+            );
+            policy.begin_drain(&mut ctx);
+            drain_ctx(&mut ctx, &mut queue);
+            if queue.is_empty() {
+                assert!(
+                    policy.is_drained(&ctx),
+                    "{}: drain cannot make progress (policy bug); consistency: {:?}",
+                    policy.name(),
+                    policy.check_consistency(&ctx)
+                );
+                break;
+            }
+            continue;
+        };
+        ctx.now = ev.time;
+        match ev.payload {
+            Event::Arrival => {
+                let rec = records.next().expect("arrival without record");
+                let rec = clamp_record(rec, logical_capacity, cfg.stripe_unit);
+                let id = next_user_id;
+                next_user_id += 1;
+                policy.on_user_request(&mut ctx, id, &rec);
+                if let Some(next) = records.peek() {
+                    if next.arrival < trace_end {
+                        queue.schedule(next.arrival.max(ctx.now), Event::Arrival);
+                    } else {
+                        trace_done = true;
+                    }
+                } else {
+                    trace_done = true;
+                }
+            }
+            Event::DiskIo(d) => {
+                let req = ctx
+                    .deliver_wake(d, WakeKind::Io)
+                    .expect("io wake returns the request");
+                policy.on_io_complete(&mut ctx, d, req);
+            }
+            Event::DiskSpinUp(d) => {
+                ctx.deliver_wake(d, WakeKind::SpinUp);
+                policy.on_spin_up(&mut ctx, d);
+            }
+            Event::DiskSpinDown(d) => {
+                ctx.deliver_wake(d, WakeKind::SpinDown);
+                policy.on_spin_down(&mut ctx, d);
+            }
+            Event::DiskBgRetry(d) => {
+                ctx.deliver_wake(d, WakeKind::BgRetry);
+            }
+            Event::Timer(token) => {
+                policy.on_timer(&mut ctx, token);
+            }
+            Event::PowerSample => {
+                let w = ctx.total_power_w();
+                let now = ctx.now;
+                ctx.power_timeline.push(now, w);
+                if now + sample_every < trace_end {
+                    queue.schedule(now + sample_every, Event::PowerSample);
+                }
+            }
+            Event::TraceEnd => {
+                trace_done = true;
+                snapshot = Some(TraceEndSnapshot {
+                    energy_by_disk: ctx.energy_by_disk(),
+                    spin_cycles: ctx.spin_cycles(),
+                    interval_ratio: ctx.intervals.interval_ratio(Phase::Destaging),
+                    energy_ratio: ctx.intervals.energy_ratio(Phase::Destaging),
+                    logging: ctx.intervals.summary(Phase::Logging),
+                    destaging: ctx.intervals.summary(Phase::Destaging),
+                });
+                policy.begin_drain(&mut ctx);
+            }
+        }
+        drain_ctx(&mut ctx, &mut queue);
+        if trace_done && snapshot.is_some() && queue.is_empty() && policy.is_drained(&ctx) {
+            break;
+        }
+    }
+
+    let snapshot = snapshot.unwrap_or_default();
+    let aggregate = snapshot
+        .energy_by_disk
+        .iter()
+        .fold(DiskEnergyReport::default(), |acc, r| acc.merged(r));
+    let consistency = policy.check_consistency(&ctx);
+    let report = SimReport {
+        scheme: policy.name().to_owned(),
+        trace_duration: duration,
+        drained_at: ctx.now.since(SimTime::ZERO),
+        user_requests: ctx.responses.count(),
+        total_energy_j: aggregate.total_joules,
+        energy_by_disk: snapshot.energy_by_disk,
+        aggregate_energy: aggregate,
+        spin_cycles: snapshot.spin_cycles,
+        responses: ctx.responses.clone(),
+        read_responses: ctx.read_responses.clone(),
+        write_responses: ctx.write_responses.clone(),
+        logging_phase: snapshot.logging,
+        destaging_phase: snapshot.destaging,
+        destaging_interval_ratio: snapshot.interval_ratio,
+        destaging_energy_ratio: snapshot.energy_ratio,
+        log_capacity_timeline: ctx
+            .log_timeline
+            .samples()
+            .iter()
+            .map(|(t, v)| (t.as_secs_f64(), *v))
+            .collect(),
+        power_timeline: ctx
+            .power_timeline
+            .samples()
+            .iter()
+            .map(|(t, v)| (t.as_secs_f64(), *v))
+            .collect(),
+        policy: policy.stats(),
+        consistency,
+    };
+    (report, policy)
+}
+
+/// Wraps a record into the logical address space, aligned and clipped.
+fn clamp_record(mut rec: TraceRecord, capacity: u64, align: u64) -> TraceRecord {
+    rec.bytes = rec.bytes.clamp(1, capacity.min(4 << 20));
+    let span = capacity - rec.bytes;
+    if rec.offset > span {
+        rec.offset %= span.max(1);
+    }
+    rec.offset = (rec.offset / align) * align;
+    rec
+}
+
+fn drain_ctx(ctx: &mut SimCtx, queue: &mut EventQueue<Event>) {
+    loop {
+        let wakes = ctx.take_wakes();
+        let timers = ctx.take_timers();
+        if wakes.is_empty() && timers.is_empty() {
+            break;
+        }
+        for (disk, wake) in wakes {
+            let ev = match wake {
+                DiskWake::Io(_) => Event::DiskIo(disk),
+                DiskWake::SpinUp(_) => Event::DiskSpinUp(disk),
+                DiskWake::SpinDown(_) => Event::DiskSpinDown(disk),
+                DiskWake::BgRetry(_) => Event::DiskBgRetry(disk),
+            };
+            queue.schedule(wake.due(), ev);
+        }
+        for (due, token) in timers {
+            queue.schedule(due, Event::Timer(token));
+        }
+    }
+}
+
+/// Builds the policy for `cfg.scheme` and runs the trace — the main entry
+/// point used by examples and the experiment harness.
+pub fn run_scheme(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    duration: Duration,
+) -> SimReport {
+    use crate::config::Scheme;
+    let geo = cfg.geometry().expect("invalid geometry");
+    match cfg.scheme {
+        Scheme::Raid10 => run_trace(cfg, records, crate::raid10::Raid10Policy::new(), duration),
+        Scheme::Graid => run_trace(
+            cfg,
+            records,
+            crate::graid::GraidPolicy::new(
+                cfg.pairs,
+                cfg.graid_log_disk(),
+                cfg.graid_log_capacity,
+                cfg.destage_threshold,
+                cfg.destage_chunk,
+            ),
+            duration,
+        ),
+        Scheme::RoloP | Scheme::RoloR => {
+            let flavor = if cfg.scheme == Scheme::RoloP {
+                crate::rolo::RoloFlavor::Performance
+            } else {
+                crate::rolo::RoloFlavor::Reliability
+            };
+            let mut policy = crate::rolo::RoloPolicy::new(
+                flavor,
+                cfg.pairs,
+                geo.logger_base(),
+                geo.logger_region(),
+                cfg.rotate_free_threshold,
+                cfg.destage_chunk,
+            );
+            policy.set_eager_spinup(cfg.eager_spinup);
+            if cfg.rolo_on_duty > 1 {
+                policy.set_on_duty_loggers(cfg.rolo_on_duty);
+            }
+            run_trace(cfg, records, policy, duration)
+        }
+        Scheme::RoloE => {
+            let mut policy = crate::roloe::RoloEPolicy::new(
+                cfg.pairs,
+                geo.logger_base(),
+                geo.logger_region(),
+                cfg.stripe_unit,
+                cfg.destage_threshold,
+                cfg.destage_chunk,
+                cfg.roloe_idle_spindown,
+                cfg.roloe_cache_fraction,
+            );
+            if cfg.rolo_on_duty > 1 {
+                policy.set_on_duty_pairs(cfg.rolo_on_duty);
+            }
+            run_trace(cfg, records, policy, duration)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolo_trace::ReqKind;
+
+    fn rec(offset: u64, bytes: u64) -> TraceRecord {
+        TraceRecord::new(SimTime::ZERO, ReqKind::Write, offset, bytes)
+    }
+
+    #[test]
+    fn clamp_wraps_and_aligns() {
+        let cap = 1 << 30;
+        let r = clamp_record(rec(cap + 12345, 4096), cap, 4096);
+        assert!(r.end() <= cap);
+        assert_eq!(r.offset % 4096, 0);
+    }
+
+    #[test]
+    fn clamp_caps_giant_requests() {
+        let cap = 1 << 30;
+        let r = clamp_record(rec(0, 1 << 40), cap, 4096);
+        assert!(r.bytes <= 4 << 20);
+    }
+
+    #[test]
+    fn clamp_preserves_in_range() {
+        let cap = 1 << 30;
+        let r = clamp_record(rec(8192, 65536), cap, 4096);
+        assert_eq!((r.offset, r.bytes), (8192, 65536));
+    }
+}

@@ -1,0 +1,345 @@
+//! GRAID baseline: centralized logging on a dedicated log disk.
+//!
+//! Reimplementation of GRAID (Mao et al., MASCOTS'08) as described in
+//! §II of the RoLo paper: all mirrored disks are kept in STANDBY; each
+//! write puts one copy on its primary (in place) and one sequentially on
+//! the dedicated log disk. When log occupancy reaches a threshold (80 %),
+//! *all* mirrors are spun up and the stale mirror blocks are updated in
+//! parallel from the primaries; the log is then reclaimed wholesale and
+//! the mirrors spun back down.
+//!
+//! During a destage period incoming writes go directly to primary +
+//! mirror (the mirrors are up anyway), which both matches Fig. 1(c) and
+//! guarantees the destage terminates.
+
+use crate::ctx::SimCtx;
+use crate::dirty::DirtyMap;
+use crate::logspace::LoggerSpace;
+use crate::policy::{Policy, PolicyStats};
+use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_metrics::Phase;
+use rolo_trace::{ReqKind, TraceRecord};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Logging,
+    Destaging,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    User(u64),
+    DestageRead { pair: usize, off: u64, len: u64 },
+    DestageWrite { pair: usize, len: u64 },
+}
+
+#[derive(Debug, Default)]
+struct UserMeta {
+    /// Extents to mark stale on the mirror at completion.
+    marks: Vec<(usize, u64, u64)>,
+    /// Extents freshly written in place on the mirror at completion.
+    clears: Vec<(usize, u64, u64)>,
+}
+
+/// The GRAID controller.
+#[derive(Debug)]
+pub struct GraidPolicy {
+    pairs: usize,
+    log_disk: DiskId,
+    threshold: f64,
+    chunk: u64,
+    log: LoggerSpace,
+    dirty: Vec<DirtyMap>,
+    chain_active: Vec<bool>,
+    mode: Mode,
+    period: u64,
+    io_map: HashMap<u64, Tag>,
+    user_meta: HashMap<u64, UserMeta>,
+    logging_token: Option<u64>,
+    destaging_token: Option<u64>,
+    phase_energy_mark: f64,
+    stats: PolicyStats,
+    draining: bool,
+}
+
+impl GraidPolicy {
+    /// Creates a GRAID controller for `pairs` mirrored pairs with a log
+    /// disk of `log_capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized log or out-of-range threshold.
+    pub fn new(pairs: usize, log_disk: DiskId, log_capacity: u64, threshold: f64, chunk: u64) -> Self {
+        assert!(log_capacity > 0, "zero log capacity");
+        assert!((0.0..=1.0).contains(&threshold) && threshold > 0.0);
+        GraidPolicy {
+            pairs,
+            log_disk,
+            threshold,
+            chunk,
+            log: LoggerSpace::new(0, log_capacity),
+            dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
+            chain_active: vec![false; pairs],
+            mode: Mode::Logging,
+            period: 0,
+            io_map: HashMap::new(),
+            user_meta: HashMap::new(),
+            logging_token: None,
+            destaging_token: None,
+            phase_energy_mark: 0.0,
+            stats: PolicyStats::default(),
+            draining: false,
+        }
+    }
+
+    /// Current log occupancy in `[0, 1]`.
+    pub fn log_occupancy(&self) -> f64 {
+        self.log.occupancy()
+    }
+
+    /// Total stale bytes across all mirrors.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty.iter().map(|d| d.bytes()).sum()
+    }
+
+    fn mirror(&self, ctx: &SimCtx, pair: usize) -> DiskId {
+        ctx.geometry().mirror_disk(pair)
+    }
+
+    fn start_destage(&mut self, ctx: &mut SimCtx) {
+        if self.mode == Mode::Destaging {
+            // Idempotent kick: re-pump everything that can run.
+            for pair in 0..self.pairs {
+                if ctx.disk(self.mirror(ctx, pair)).is_spun_up() {
+                    self.pump(ctx, pair);
+                }
+            }
+            return;
+        }
+        self.mode = Mode::Destaging;
+        let energy = ctx.total_energy();
+        if let Some(tok) = self.logging_token.take() {
+            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+        }
+        self.phase_energy_mark = energy;
+        self.destaging_token = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
+        for pair in 0..self.pairs {
+            let m = self.mirror(ctx, pair);
+            if ctx.disk(m).is_spun_up() {
+                self.pump(ctx, pair);
+            } else {
+                ctx.spin_up(m);
+            }
+        }
+        // Degenerate case: nothing dirty anywhere.
+        self.check_destage_done(ctx);
+    }
+
+    fn pump(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if self.mode != Mode::Destaging || self.chain_active[pair] {
+            return;
+        }
+        match self.dirty[pair].take_next(self.chunk) {
+            Some((off, len)) => {
+                self.chain_active[pair] = true;
+                let p = ctx.geometry().primary_disk(pair);
+                let id = ctx.submit(p, IoKind::Read, off, len, Priority::Background);
+                self.io_map.insert(id, Tag::DestageRead { pair, off, len });
+            }
+            None => self.check_destage_done(ctx),
+        }
+    }
+
+    fn check_destage_done(&mut self, ctx: &mut SimCtx) {
+        if self.mode != Mode::Destaging {
+            return;
+        }
+        let busy = self.chain_active.iter().any(|&b| b);
+        let dirty = self.dirty.iter().any(|d| !d.is_clean());
+        if busy || dirty {
+            return;
+        }
+        // Cycle complete: reclaim the whole log, resume logging.
+        self.log.reclaim(|_| true);
+        ctx.log_timeline.push(ctx.now, 0.0);
+        let energy = ctx.total_energy();
+        if let Some(tok) = self.destaging_token.take() {
+            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+        }
+        self.phase_energy_mark = energy;
+        self.mode = Mode::Logging;
+        self.period += 1;
+        self.stats.destage_cycles += 1;
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        if !self.draining {
+            for pair in 0..self.pairs {
+                let m = self.mirror(ctx, pair);
+                ctx.spin_down(m);
+            }
+        }
+    }
+}
+
+impl Policy for GraidPolicy {
+    fn name(&self) -> &'static str {
+        "GRAID"
+    }
+
+    fn initial_standby(&self, disk: DiskId) -> bool {
+        // Mirrors start spun down; primaries and the log disk are up.
+        disk >= self.pairs && disk < 2 * self.pairs
+    }
+
+    fn attach(&mut self, ctx: &mut SimCtx) {
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        self.phase_energy_mark = ctx.total_energy();
+    }
+
+    fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord) {
+        let exts = ctx
+            .geometry()
+            .split(rec.offset, rec.bytes)
+            .expect("driver keeps requests in range");
+        let mut meta = UserMeta::default();
+        let mut subs: u32 = 0;
+        match rec.kind {
+            ReqKind::Read => {
+                for ext in &exts {
+                    let p = ctx.geometry().primary_disk(ext.pair);
+                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                    subs += 1;
+                }
+            }
+            ReqKind::Write => {
+                // Primary copies in place.
+                for ext in &exts {
+                    let p = ctx.geometry().primary_disk(ext.pair);
+                    let id = ctx.submit(p, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                    subs += 1;
+                }
+                // Second copies appended to the log disk.
+                let mut logged_all = true;
+                for ext in &exts {
+                    match self.log.alloc(ext.bytes, ext.pair, self.period) {
+                        Some(segs) => {
+                            for seg in segs {
+                                let id = ctx.submit(
+                                    self.log_disk,
+                                    IoKind::Write,
+                                    seg.offset,
+                                    seg.bytes,
+                                    Priority::Foreground,
+                                );
+                                self.io_map.insert(id, Tag::User(user_id));
+                                subs += 1;
+                                self.stats.log_appended_bytes += seg.bytes;
+                            }
+                            meta.marks.push((ext.pair, ext.offset, ext.bytes));
+                        }
+                        None => {
+                            logged_all = false;
+                            // Log full: fall back to a direct mirror copy.
+                            let m = ctx.geometry().mirror_disk(ext.pair);
+                            let id = ctx.submit(m, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                            self.io_map.insert(id, Tag::User(user_id));
+                            subs += 1;
+                            meta.clears.push((ext.pair, ext.offset, ext.bytes));
+                            self.stats.direct_writes += 1;
+                        }
+                    }
+                }
+                ctx.log_timeline.push(ctx.now, self.log.used_bytes() as f64);
+                // The 80 % threshold leaves headroom so logging continues
+                // while the mirrors spin up and destage; only exhaustion
+                // forces direct writes.
+                if !logged_all || self.log.occupancy() >= self.threshold {
+                    self.start_destage(ctx);
+                }
+            }
+        }
+        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        self.user_meta.insert(user_id, meta);
+    }
+
+    fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
+        match self.io_map.remove(&req.id).expect("unknown sub-request") {
+            Tag::User(user) => {
+                if ctx.user_sub_done(user).is_some() {
+                    let meta = self.user_meta.remove(&user).unwrap_or_default();
+                    for (pair, off, len) in meta.marks {
+                        self.dirty[pair].mark(off, len);
+                        // Newly stale data may arrive mid-destage; keep the
+                        // pump moving.
+                        if self.mode == Mode::Destaging {
+                            self.pump(ctx, pair);
+                        }
+                    }
+                    for (pair, off, len) in meta.clears {
+                        self.dirty[pair].clear_range(off, len);
+                    }
+                }
+            }
+            Tag::DestageRead { pair, off, len } => {
+                let m = ctx.geometry().mirror_disk(pair);
+                let id = ctx.submit(m, IoKind::Write, off, len, Priority::Background);
+                self.io_map.insert(id, Tag::DestageWrite { pair, len });
+            }
+            Tag::DestageWrite { pair, len } => {
+                self.stats.destaged_bytes += len;
+                self.chain_active[pair] = false;
+                self.pump(ctx, pair);
+            }
+        }
+    }
+
+    fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        if disk >= self.pairs && disk < 2 * self.pairs {
+            self.pump(ctx, disk - self.pairs);
+        }
+    }
+
+    fn on_spin_down(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_timer(&mut self, _ctx: &mut SimCtx, _token: u64) {}
+
+    fn begin_drain(&mut self, ctx: &mut SimCtx) {
+        self.draining = true;
+        if self.log.used_bytes() > 0 || self.dirty_bytes() > 0 {
+            self.start_destage(ctx);
+        }
+    }
+
+    fn is_drained(&self, ctx: &SimCtx) -> bool {
+        self.mode == Mode::Logging
+            && self.log.used_bytes() == 0
+            && self.dirty.iter().all(|d| d.is_clean())
+            && ctx.outstanding_users() == 0
+            && self.io_map.is_empty()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
+        self.log.check_invariants()?;
+        for (pair, d) in self.dirty.iter().enumerate() {
+            d.check_invariants()?;
+            if !d.is_clean() {
+                return Err(format!("pair {pair} still has {} stale bytes", d.bytes()));
+            }
+        }
+        if self.log.used_bytes() != 0 {
+            return Err(format!("{} log bytes unreclaimed", self.log.used_bytes()));
+        }
+        if ctx.outstanding_users() != 0 {
+            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+        }
+        if !self.io_map.is_empty() {
+            return Err(format!("{} orphaned sub-requests", self.io_map.len()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,364 @@
+//! Logger-region space management (§III-E "Free space management").
+//!
+//! Each disk participating in logging dedicates a byte range (its *logger
+//! region*) to sequential log appends. The paper manages this region with
+//! used/unused region lists; this module implements the same structure:
+//!
+//! * allocation is **append-style**: a request is satisfied from the
+//!   lowest-addressed free region(s), splitting across free regions when
+//!   necessary (each returned piece is written sequentially);
+//! * every allocated segment is tagged with the mirrored pair whose data
+//!   it holds and the logging period in which it was written;
+//! * **reclamation is by predicate** — when a destage process for a pair
+//!   completes, all of that pair's segments become stale and are freed in
+//!   one sweep (the paper's "proactive reclamation");
+//! * adjacent free regions are coalesced so the unused list stays short
+//!   (the paper's background compaction of the unused region list).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A live segment of logged data within a logger region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogSegment {
+    /// Mirrored pair whose second copies this segment holds.
+    pub pair: usize,
+    /// Logging period during which the segment was written.
+    pub period: u64,
+    /// Absolute byte offset on the disk.
+    pub offset: u64,
+    /// Segment length in bytes.
+    pub bytes: u64,
+}
+
+/// Manager of one disk's logger region.
+///
+/// # Example
+///
+/// ```
+/// use rolo_core::logspace::LoggerSpace;
+///
+/// let mut ls = LoggerSpace::new(1 << 30, 8 << 20); // region at 1 GiB, 8 MiB long
+/// let pieces = ls.alloc(64 * 1024, 0, 1).expect("space available");
+/// assert_eq!(pieces.iter().map(|p| p.bytes).sum::<u64>(), 64 * 1024);
+/// assert_eq!(ls.used_bytes(), 64 * 1024);
+/// let freed = ls.reclaim(|seg| seg.pair == 0);
+/// assert_eq!(freed, 64 * 1024);
+/// assert_eq!(ls.used_bytes(), 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoggerSpace {
+    base: u64,
+    size: u64,
+    /// Free regions: offset → length. Disjoint, non-adjacent (coalesced).
+    free: BTreeMap<u64, u64>,
+    /// Live segments, unordered.
+    used: Vec<LogSegment>,
+    used_bytes: u64,
+}
+
+impl LoggerSpace {
+    /// Creates a fully free logger region `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(size > 0, "logger region must be non-empty");
+        let mut free = BTreeMap::new();
+        free.insert(base, size);
+        LoggerSpace {
+            base,
+            size,
+            free,
+            used: Vec::new(),
+            used_bytes: 0,
+        }
+    }
+
+    /// Start of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total region size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently holding live segments.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes available for allocation.
+    pub fn free_bytes(&self) -> u64 {
+        self.size - self.used_bytes
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.used_bytes as f64 / self.size as f64
+    }
+
+    /// Live segments (unordered).
+    pub fn segments(&self) -> &[LogSegment] {
+        &self.used
+    }
+
+    /// Allocates `bytes` for `pair` during `period`, lowest-address-first,
+    /// splitting across free regions if needed. Returns `None` (and
+    /// allocates nothing) if insufficient space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn alloc(&mut self, bytes: u64, pair: usize, period: u64) -> Option<Vec<LogSegment>> {
+        assert!(bytes > 0, "zero-byte log allocation");
+        if bytes > self.free_bytes() {
+            return None;
+        }
+        let mut remaining = bytes;
+        let mut out = Vec::new();
+        while remaining > 0 {
+            let (&off, &len) = self
+                .free
+                .iter()
+                .next()
+                .expect("free accounting out of sync");
+            let take = len.min(remaining);
+            self.free.remove(&off);
+            if take < len {
+                self.free.insert(off + take, len - take);
+            }
+            let seg = LogSegment {
+                pair,
+                period,
+                offset: off,
+                bytes: take,
+            };
+            self.used.push(seg);
+            out.push(seg);
+            self.used_bytes += take;
+            remaining -= take;
+        }
+        Some(out)
+    }
+
+    /// Frees every live segment matching `stale`, coalescing the freed
+    /// space. Returns the number of bytes reclaimed.
+    pub fn reclaim<F: FnMut(&LogSegment) -> bool>(&mut self, mut stale: F) -> u64 {
+        let mut freed = 0;
+        let mut i = 0;
+        while i < self.used.len() {
+            if stale(&self.used[i]) {
+                let seg = self.used.swap_remove(i);
+                freed += seg.bytes;
+                self.insert_free(seg.offset, seg.bytes);
+            } else {
+                i += 1;
+            }
+        }
+        self.used_bytes -= freed;
+        freed
+    }
+
+    /// Inserts a free region and coalesces with neighbours.
+    fn insert_free(&mut self, offset: u64, bytes: u64) {
+        let mut start = offset;
+        let mut len = bytes;
+        // Merge with predecessor if adjacent.
+        if let Some((&poff, &plen)) = self.free.range(..offset).next_back() {
+            debug_assert!(poff + plen <= offset, "free-list overlap");
+            if poff + plen == offset {
+                self.free.remove(&poff);
+                start = poff;
+                len += plen;
+            }
+        }
+        // Merge with successor if adjacent.
+        if let Some((&soff, &slen)) = self.free.range(start + len..).next() {
+            if start + len == soff {
+                self.free.remove(&soff);
+                len += slen;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Number of fragments in the free list (1 when fully coalesced and
+    /// nothing is allocated in the middle).
+    pub fn free_fragments(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Debug invariant check: free regions are disjoint, within bounds,
+    /// non-adjacent, and byte accounting balances.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end: Option<u64> = None;
+        let mut free_total = 0;
+        for (&off, &len) in &self.free {
+            if len == 0 {
+                return Err(format!("zero-length free region at {off}"));
+            }
+            if off < self.base || off + len > self.base + self.size {
+                return Err(format!("free region [{off}, {}) out of bounds", off + len));
+            }
+            if let Some(pe) = prev_end {
+                if off < pe {
+                    return Err(format!("overlapping free regions at {off}"));
+                }
+                if off == pe {
+                    return Err(format!("uncoalesced adjacent free regions at {off}"));
+                }
+            }
+            prev_end = Some(off + len);
+            free_total += len;
+        }
+        let used_total: u64 = self.used.iter().map(|s| s.bytes).sum();
+        if used_total != self.used_bytes {
+            return Err("used byte accounting out of sync".into());
+        }
+        if free_total + used_total != self.size {
+            return Err(format!(
+                "space leak: free {free_total} + used {used_total} != size {}",
+                self.size
+            ));
+        }
+        // Used segments must not overlap free regions or each other.
+        let mut spans: Vec<(u64, u64)> = self
+            .used
+            .iter()
+            .map(|s| (s.offset, s.bytes))
+            .chain(self.free.iter().map(|(&o, &l)| (o, l)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(format!("overlapping spans at {}", w[1].0));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_region_fully_free() {
+        let ls = LoggerSpace::new(100, 1000);
+        assert_eq!(ls.free_bytes(), 1000);
+        assert_eq!(ls.used_bytes(), 0);
+        assert_eq!(ls.occupancy(), 0.0);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_is_sequential_from_base() {
+        let mut ls = LoggerSpace::new(100, 1000);
+        let a = ls.alloc(300, 0, 0).unwrap();
+        assert_eq!(a, vec![LogSegment { pair: 0, period: 0, offset: 100, bytes: 300 }]);
+        let b = ls.alloc(200, 1, 0).unwrap();
+        assert_eq!(b[0].offset, 400);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_fails_without_mutation_when_full() {
+        let mut ls = LoggerSpace::new(0, 512);
+        ls.alloc(512, 0, 0).unwrap();
+        assert!(ls.alloc(1, 0, 0).is_none());
+        assert_eq!(ls.free_bytes(), 0);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_splits_across_fragments() {
+        let mut ls = LoggerSpace::new(0, 1000);
+        ls.alloc(400, 0, 0).unwrap(); // [0,400) pair0
+        ls.alloc(200, 1, 0).unwrap(); // [400,600) pair1
+        ls.alloc(400, 0, 0).unwrap(); // [600,1000) pair0
+        // Free pair 0 → fragments [0,400) and [600,1000).
+        assert_eq!(ls.reclaim(|s| s.pair == 0), 800);
+        assert_eq!(ls.free_fragments(), 2);
+        // 600-byte allocation must span both fragments.
+        let segs = ls.alloc(600, 2, 1).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].offset, 0);
+        assert_eq!(segs[0].bytes, 400);
+        assert_eq!(segs[1].offset, 600);
+        assert_eq!(segs[1].bytes, 200);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reclaim_by_pair_and_period() {
+        let mut ls = LoggerSpace::new(0, 1000);
+        ls.alloc(100, 0, 0).unwrap();
+        ls.alloc(100, 1, 0).unwrap();
+        ls.alloc(100, 0, 1).unwrap();
+        let freed = ls.reclaim(|s| s.pair == 0 && s.period == 0);
+        assert_eq!(freed, 100);
+        assert_eq!(ls.used_bytes(), 200);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coalescing_restores_single_region() {
+        let mut ls = LoggerSpace::new(0, 1000);
+        for i in 0..10 {
+            ls.alloc(100, i, 0).unwrap();
+        }
+        assert_eq!(ls.free_bytes(), 0);
+        // Free odd pairs, then even: after both sweeps one region remains.
+        ls.reclaim(|s| s.pair % 2 == 1);
+        ls.check_invariants().unwrap();
+        ls.reclaim(|_| true);
+        assert_eq!(ls.free_fragments(), 1);
+        assert_eq!(ls.free_bytes(), 1000);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte log allocation")]
+    fn zero_alloc_panics() {
+        LoggerSpace::new(0, 100).alloc(0, 0, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_invariants_under_random_ops(ops in proptest::collection::vec((0u8..3, 1u64..2048, 0usize..4, 0u64..4), 1..200)) {
+            let mut ls = LoggerSpace::new(4096, 64 * 1024);
+            for (op, bytes, pair, period) in ops {
+                match op {
+                    0 | 1 => {
+                        let _ = ls.alloc(bytes, pair, period);
+                    }
+                    _ => {
+                        ls.reclaim(|s| s.pair == pair && s.period <= period);
+                    }
+                }
+                prop_assert!(ls.check_invariants().is_ok(), "{:?}", ls.check_invariants());
+                prop_assert!(ls.used_bytes() + ls.free_bytes() == ls.size());
+            }
+        }
+
+        #[test]
+        fn prop_alloc_reclaim_round_trip(sizes in proptest::collection::vec(1u64..4096, 1..50)) {
+            let total: u64 = sizes.iter().sum();
+            let mut ls = LoggerSpace::new(0, total);
+            for (i, s) in sizes.iter().enumerate() {
+                let segs = ls.alloc(*s, i, 0).unwrap();
+                let got: u64 = segs.iter().map(|x| x.bytes).sum();
+                prop_assert_eq!(got, *s);
+            }
+            prop_assert_eq!(ls.free_bytes(), 0);
+            prop_assert_eq!(ls.reclaim(|_| true), total);
+            prop_assert_eq!(ls.free_fragments(), 1);
+        }
+    }
+}

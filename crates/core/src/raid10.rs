@@ -1,0 +1,114 @@
+//! Plain RAID10 baseline: all disks active, synchronous mirroring.
+//!
+//! Writes go to both disks of the owning pair in place; reads are
+//! balanced across the pair by queue depth. No logging, no destaging, no
+//! power management — the energy baseline every figure normalises to.
+
+use crate::ctx::SimCtx;
+use crate::policy::{Policy, PolicyStats};
+use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_trace::{ReqKind, TraceRecord};
+use std::collections::HashMap;
+
+/// The RAID10 baseline controller.
+#[derive(Debug, Default)]
+pub struct Raid10Policy {
+    /// sub-request id → user id.
+    io_map: HashMap<u64, u64>,
+}
+
+impl Raid10Policy {
+    /// Creates the baseline controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chooses the less-loaded disk of a pair for a read.
+    fn read_target(ctx: &SimCtx, pair: usize) -> DiskId {
+        let geo = ctx.geometry();
+        let p = geo.primary_disk(pair);
+        let m = geo.mirror_disk(pair);
+        let load = |d: DiskId| {
+            let disk = ctx.disk(d);
+            disk.foreground_pending() + usize::from(disk.is_busy())
+        };
+        if load(m) < load(p) {
+            m
+        } else {
+            p
+        }
+    }
+}
+
+impl Policy for Raid10Policy {
+    fn name(&self) -> &'static str {
+        "RAID10"
+    }
+
+    fn initial_standby(&self, _disk: DiskId) -> bool {
+        false
+    }
+
+    fn attach(&mut self, _ctx: &mut SimCtx) {}
+
+    fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord) {
+        let exts = ctx
+            .geometry()
+            .split(rec.offset, rec.bytes)
+            .expect("driver keeps requests in range");
+        let subs = match rec.kind {
+            ReqKind::Write => exts.len() * 2,
+            ReqKind::Read => exts.len(),
+        };
+        ctx.register_user(user_id, rec.kind, ctx.now, subs as u32);
+        for ext in exts {
+            match rec.kind {
+                ReqKind::Write => {
+                    let p = ctx.geometry().primary_disk(ext.pair);
+                    let m = ctx.geometry().mirror_disk(ext.pair);
+                    for d in [p, m] {
+                        let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                        self.io_map.insert(id, user_id);
+                    }
+                }
+                ReqKind::Read => {
+                    let d = Self::read_target(ctx, ext.pair);
+                    let id = ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    self.io_map.insert(id, user_id);
+                }
+            }
+        }
+    }
+
+    fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
+        let user = self
+            .io_map
+            .remove(&req.id)
+            .expect("RAID10 issues only user sub-requests");
+        ctx.user_sub_done(user);
+    }
+
+    fn on_spin_up(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_spin_down(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_timer(&mut self, _ctx: &mut SimCtx, _token: u64) {}
+
+    fn begin_drain(&mut self, _ctx: &mut SimCtx) {}
+
+    fn is_drained(&self, ctx: &SimCtx) -> bool {
+        ctx.outstanding_users() == 0
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+
+    fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
+        if !self.io_map.is_empty() {
+            return Err(format!("{} orphaned sub-requests", self.io_map.len()));
+        }
+        if ctx.outstanding_users() != 0 {
+            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,687 @@
+//! RoLo-P and RoLo-R: rotated logging with decentralized destaging.
+//!
+//! The two flavors share all of the rotation machinery (§III-A) and
+//! differ only in what serves as the on-duty logger (§III-B):
+//!
+//! * **RoLo-P** — mirrored *disks* serve as loggers (`M_j`); each write
+//!   has two copies (primary in place + one log append);
+//! * **RoLo-R** — mirrored *pairs* serve as loggers (`P_j`, `M_j`); each
+//!   write has three copies (primary in place + two log appends).
+//!
+//! Following §III-B's "one or a few mirrored disks take turns", the
+//! on-duty window holds one logger by default and can be widened
+//! ([`SimConfig::rolo_on_duty`](crate::config::SimConfig)) to alleviate
+//! the append bottleneck of large arrays (§III-D).
+//!
+//! Rotation: when the on-duty logger's free logging space falls below a
+//! threshold, the logger advances to the next pair. The newly on-duty
+//! mirror spins up and a **destage process** for its pair starts: stale
+//! blocks are updated from the pair's primary through background I/O in
+//! idle slots. When a pair's destage completes, every log segment holding
+//! that pair's second copies — on any disk — is stale and is reclaimed
+//! (the paper's proactive reclamation), which is what lets logging rotate
+//! indefinitely. The previous logger spins down as soon as it is no
+//! longer needed (immediately at rotation, or when its own unfinished
+//! destage ends, exactly as Fig. 5(a) shows).
+//!
+//! If the next logger has no usable space, RoLo deactivates (§III-E):
+//! all mirrors spin up, writes go straight to both copies, and logging
+//! resumes once every destage process has drained and reclaimed the
+//! logging space pool.
+
+use crate::ctx::SimCtx;
+use crate::dirty::DirtyMap;
+use crate::logspace::LoggerSpace;
+use crate::policy::{Policy, PolicyStats};
+use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_metrics::Phase;
+use rolo_trace::{ReqKind, TraceRecord};
+use std::collections::HashMap;
+
+/// Minimum fraction of the logger region still free when the *next*
+/// on-duty logger is proactively spun up, so rotation never stalls a
+/// write on a spin-up (the 10.9 s latency would otherwise dominate mean
+/// response). The actual look-ahead is rate-based: enough headroom to
+/// absorb `SPIN_UP_AHEAD_FACTOR` spin-up times of appends at the
+/// currently observed write rate.
+const SPIN_UP_AHEAD_FRACTION: f64 = 0.02;
+/// Safety factor on the spin-up time for the rate-based look-ahead.
+const SPIN_UP_AHEAD_FACTOR: f64 = 3.0;
+
+/// Which RoLo flavor the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoloFlavor {
+    /// RoLo-P: single-mirror logger, two copies per write.
+    Performance,
+    /// RoLo-R: mirrored-pair logger, three copies per write.
+    Reliability,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    User(u64),
+    DestageRead { pair: usize, off: u64, len: u64 },
+    DestageWrite { pair: usize, len: u64 },
+}
+
+#[derive(Debug, Default)]
+struct UserMeta {
+    marks: Vec<(usize, u64, u64)>,
+    clears: Vec<(usize, u64, u64)>,
+}
+
+/// The RoLo-P / RoLo-R controller.
+#[derive(Debug)]
+pub struct RoloPolicy {
+    flavor: RoloFlavor,
+    pairs: usize,
+    rotate_threshold: f64,
+    chunk: u64,
+    period: u64,
+    /// On-duty logger pairs (§III-B: "one or a few mirrored disks take
+    /// turns to serve as on-duty log disks"; more slots alleviate the
+    /// append bottleneck per §III-D).
+    loggers: Vec<usize>,
+    /// Next pair to bring on duty when a slot rotates out.
+    rotation_cursor: usize,
+    /// Round-robin cursor over the slots for append placement.
+    slot_cursor: usize,
+    /// Logger-space manager per disk id (mirrors always; primaries too
+    /// for RoLo-R).
+    spaces: HashMap<DiskId, LoggerSpace>,
+    dirty: Vec<DirtyMap>,
+    destage_active: Vec<bool>,
+    chain_active: Vec<bool>,
+    destage_tokens: Vec<Option<u64>>,
+    io_map: HashMap<u64, Tag>,
+    user_meta: HashMap<u64, UserMeta>,
+    logging_token: Option<u64>,
+    phase_energy_mark: f64,
+    deactivated: bool,
+    draining: bool,
+    stats: PolicyStats,
+    logger_base: u64,
+    logger_size: u64,
+    /// Append-rate estimation window for the eager-spin-up look-ahead.
+    rate_window_start: rolo_sim::SimTime,
+    rate_window_bytes: u64,
+    append_rate: f64,
+    spin_up_secs: f64,
+    eager_spinup: bool,
+}
+
+impl RoloPolicy {
+    /// Creates a RoLo controller.
+    ///
+    /// `logger_base`/`logger_size` locate the per-disk logger region (the
+    /// geometry's [`logger_base`](rolo_raid::ArrayGeometry::logger_base)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized logger region or zero pairs.
+    pub fn new(
+        flavor: RoloFlavor,
+        pairs: usize,
+        logger_base: u64,
+        logger_size: u64,
+        rotate_threshold: f64,
+        chunk: u64,
+    ) -> Self {
+        assert!(pairs > 0, "need at least one pair");
+        assert!(logger_size > 0, "zero logger region");
+        let mut spaces = HashMap::new();
+        for pair in 0..pairs {
+            // Mirror disks are pairs..2*pairs.
+            spaces.insert(pairs + pair, LoggerSpace::new(logger_base, logger_size));
+            if flavor == RoloFlavor::Reliability {
+                spaces.insert(pair, LoggerSpace::new(logger_base, logger_size));
+            }
+        }
+        RoloPolicy {
+            flavor,
+            pairs,
+            rotate_threshold,
+            chunk,
+            period: 0,
+            loggers: vec![0],
+            rotation_cursor: 1 % pairs,
+            slot_cursor: 0,
+            spaces,
+            dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
+            destage_active: vec![false; pairs],
+            chain_active: vec![false; pairs],
+            destage_tokens: vec![None; pairs],
+            io_map: HashMap::new(),
+            user_meta: HashMap::new(),
+            logging_token: None,
+            phase_energy_mark: 0.0,
+            deactivated: false,
+            draining: false,
+            stats: PolicyStats::default(),
+            logger_base,
+            logger_size,
+            rate_window_start: rolo_sim::SimTime::ZERO,
+            rate_window_bytes: 0,
+            append_rate: 0.0,
+            spin_up_secs: 11.0,
+            eager_spinup: true,
+        }
+    }
+
+    /// Disables the proactive next-logger spin-up (ablation studies).
+    pub fn set_eager_spinup(&mut self, enabled: bool) {
+        self.eager_spinup = enabled;
+    }
+
+    /// Updates the observed append rate (bytes/s) over ~30 s windows.
+    fn note_append(&mut self, now: rolo_sim::SimTime, bytes: u64) {
+        self.rate_window_bytes += bytes;
+        let elapsed = now.since(self.rate_window_start).as_secs_f64();
+        if elapsed >= 30.0 {
+            self.append_rate = self.rate_window_bytes as f64 / elapsed;
+            self.rate_window_start = now;
+            self.rate_window_bytes = 0;
+        }
+    }
+
+    /// Headroom at which the next logger should already be spinning.
+    fn spin_up_ahead_bytes(&self) -> u64 {
+        let floor = (self.logger_size as f64
+            * (self.rotate_threshold + SPIN_UP_AHEAD_FRACTION)) as u64;
+        let rate_based = (self.append_rate * self.spin_up_secs * SPIN_UP_AHEAD_FACTOR) as u64;
+        floor.max(rate_based).min(self.logger_size)
+    }
+
+    /// The first on-duty logger pair (the only one unless
+    /// [`set_on_duty_loggers`](Self::set_on_duty_loggers) widened the
+    /// window).
+    pub fn logger_pair(&self) -> usize {
+        self.loggers[0]
+    }
+
+    /// All on-duty logger pairs.
+    pub fn on_duty_loggers(&self) -> &[usize] {
+        &self.loggers
+    }
+
+    /// Sets the number of simultaneously on-duty loggers (before the run
+    /// starts). The initial window is pairs `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k < pairs`.
+    pub fn set_on_duty_loggers(&mut self, k: usize) {
+        assert!(k >= 1 && k < self.pairs, "on-duty window out of range");
+        self.loggers = (0..k).collect();
+        self.rotation_cursor = k % self.pairs;
+    }
+
+    /// True while logging is deactivated for lack of space (§III-E).
+    pub fn is_deactivated(&self) -> bool {
+        self.deactivated
+    }
+
+    /// Total live logged bytes across the logical logging space pool.
+    pub fn log_used_bytes(&self) -> u64 {
+        self.spaces.values().map(|s| s.used_bytes()).sum()
+    }
+
+    /// Total stale bytes awaiting destage.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty.iter().map(|d| d.bytes()).sum()
+    }
+
+    /// The pairs whose logger spaces still hold un-reclaimed second
+    /// copies of `pair`'s data — exactly the mirrors §III-C must awaken
+    /// to recover a failure of `pair`'s primary (feed this to
+    /// [`crate::recovery::recovery_plan`] as `recent_loggers`).
+    pub fn pairs_holding_copies_of(&self, pair: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .spaces
+            .iter()
+            .filter(|(_, space)| space.segments().iter().any(|seg| seg.pair == pair))
+            .map(|(&disk, _)| if disk >= self.pairs { disk - self.pairs } else { disk })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn mirror(&self, ctx: &SimCtx, pair: usize) -> DiskId {
+        ctx.geometry().mirror_disk(pair)
+    }
+
+    /// Disks receiving log appends for logger pair `j`.
+    fn pair_targets(&self, ctx: &SimCtx, j: usize) -> Vec<DiskId> {
+        match self.flavor {
+            RoloFlavor::Performance => vec![ctx.geometry().mirror_disk(j)],
+            RoloFlavor::Reliability => vec![
+                ctx.geometry().primary_disk(j),
+                ctx.geometry().mirror_disk(j),
+            ],
+        }
+    }
+
+    fn pair_has_space(&self, ctx: &SimCtx, j: usize, needed: u64) -> bool {
+        let floor = (self.logger_size as f64 * self.rotate_threshold) as u64;
+        self.pair_targets(ctx, j).iter().all(|d| {
+            let s = &self.spaces[d];
+            s.free_bytes() >= needed && s.free_bytes() > floor
+        })
+    }
+
+    /// Picks the next on-duty pair with room, round-robin across slots.
+    fn pick_slot(&mut self, ctx: &SimCtx, needed: u64) -> Option<usize> {
+        let k = self.loggers.len();
+        for i in 0..k {
+            let j = self.loggers[(self.slot_cursor + i) % k];
+            if self.pair_has_space(ctx, j, needed) {
+                self.slot_cursor = (self.slot_cursor + i + 1) % k;
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn activate_destage(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if self.destage_active[pair] {
+            return;
+        }
+        self.destage_active[pair] = true;
+        self.destage_tokens[pair] = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
+        let m = self.mirror(ctx, pair);
+        if ctx.disk(m).is_spun_up() {
+            self.pump(ctx, pair);
+        } else {
+            ctx.spin_up(m);
+        }
+    }
+
+    /// Pair that will next come on duty.
+    fn next_on_duty(&self) -> usize {
+        let mut cand = self.rotation_cursor;
+        // Skip pairs already in the window.
+        for _ in 0..self.pairs {
+            if !self.loggers.contains(&cand) {
+                return cand;
+            }
+            cand = (cand + 1) % self.pairs;
+        }
+        cand
+    }
+
+    fn rotate(&mut self, ctx: &mut SimCtx) {
+        // Retire the fullest slot, bring the next pair on duty.
+        let (slot, _) = self
+            .loggers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &j)| {
+                self.pair_targets(ctx, j)
+                    .iter()
+                    .map(|d| self.spaces[d].free_bytes())
+                    .min()
+                    .unwrap_or(0)
+            })
+            .expect("at least one slot");
+        let incoming = self.next_on_duty();
+        let old = std::mem::replace(&mut self.loggers[slot], incoming);
+        self.rotation_cursor = (incoming + 1) % self.pairs;
+        self.period += 1;
+        self.stats.rotations += 1;
+        // Close the old logging period, open the next.
+        let energy = ctx.total_energy();
+        if let Some(tok) = self.logging_token.take() {
+            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+        }
+        self.phase_energy_mark = energy;
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        // The new on-duty mirror spins up and starts destaging its pair.
+        let new_mirror = self.mirror(ctx, incoming);
+        ctx.spin_up(new_mirror);
+        self.activate_destage(ctx, incoming);
+        // The old logger spins down unless its own destage is unfinished —
+        // in which case its (possibly deferred) destage resumes now.
+        if old != incoming && !self.destage_active[old] && !self.draining {
+            let m = self.mirror(ctx, old);
+            ctx.spin_down(m);
+        } else if old != incoming && self.destage_active[old] {
+            self.pump(ctx, old);
+        }
+    }
+
+    fn deactivate(&mut self, ctx: &mut SimCtx) {
+        if self.deactivated {
+            return;
+        }
+        self.deactivated = true;
+        self.stats.deactivations += 1;
+        for pair in 0..self.pairs {
+            let m = self.mirror(ctx, pair);
+            ctx.spin_up(m);
+            if !self.dirty[pair].is_clean() {
+                self.activate_destage(ctx, pair);
+            }
+        }
+    }
+
+    fn try_reactivate(&mut self, ctx: &mut SimCtx) {
+        if !self.deactivated
+            || self.destage_active.iter().any(|&a| a)
+            || self.dirty.iter().any(|d| !d.is_clean())
+            || self.log_used_bytes() > 0
+        {
+            return;
+        }
+        self.deactivated = false;
+        self.rotate(ctx);
+        // Park every mirror that is not an on-duty logger.
+        for pair in 0..self.pairs {
+            if !self.loggers.contains(&pair) && !self.destage_active[pair] && !self.draining {
+                let m = self.mirror(ctx, pair);
+                ctx.spin_down(m);
+            }
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if !self.destage_active[pair] || self.chain_active[pair] {
+            return;
+        }
+        // RoLo-R: the on-duty pair's primary carries every write's log
+        // copy, so running its own destage reads against it would delay
+        // all foreground writes. Defer the pair's destage until it leaves
+        // the on-duty window (it stays marked active and resumes then).
+        if self.flavor == RoloFlavor::Reliability
+            && self.loggers.contains(&pair)
+            && !self.draining
+            && !self.deactivated
+        {
+            return;
+        }
+        if !ctx.disk(self.mirror(ctx, pair)).is_spun_up() {
+            ctx.spin_up(self.mirror(ctx, pair));
+            return;
+        }
+        match self.dirty[pair].take_next(self.chunk) {
+            Some((off, len)) => {
+                self.chain_active[pair] = true;
+                let p = ctx.geometry().primary_disk(pair);
+                let id = ctx.submit(p, IoKind::Read, off, len, Priority::Background);
+                self.io_map.insert(id, Tag::DestageRead { pair, off, len });
+            }
+            None => self.complete_destage(ctx, pair),
+        }
+    }
+
+    fn complete_destage(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if !self.destage_active[pair] || self.chain_active[pair] || !self.dirty[pair].is_clean() {
+            return;
+        }
+        self.destage_active[pair] = false;
+        self.stats.destage_cycles += 1;
+        // Proactive reclamation: every log copy of this pair, anywhere in
+        // the pool, is now stale.
+        for space in self.spaces.values_mut() {
+            space.reclaim(|seg| seg.pair == pair);
+        }
+        ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
+        if let Some(tok) = self.destage_tokens[pair].take() {
+            ctx.intervals.end(tok, ctx.now, 0.0);
+        }
+        if !self.loggers.contains(&pair) && !self.deactivated && !self.draining {
+            let m = self.mirror(ctx, pair);
+            ctx.spin_down(m);
+        }
+        if self.deactivated {
+            self.try_reactivate(ctx);
+        }
+    }
+
+    fn after_dirty_change(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if self.destage_active[pair] {
+            if self.chain_active[pair] {
+                return;
+            }
+            if self.dirty[pair].is_clean() {
+                self.complete_destage(ctx, pair);
+            } else {
+                self.pump(ctx, pair);
+            }
+        } else if (self.draining || self.deactivated) && !self.dirty[pair].is_clean() {
+            self.activate_destage(ctx, pair);
+        }
+    }
+
+    fn write_direct(
+        &mut self,
+        ctx: &mut SimCtx,
+        user_id: u64,
+        meta: &mut UserMeta,
+        exts: &[rolo_raid::PhysExtent],
+    ) -> u32 {
+        self.stats.direct_writes += 1;
+        let mut subs = 0;
+        for ext in exts {
+            let p = ctx.geometry().primary_disk(ext.pair);
+            let m = ctx.geometry().mirror_disk(ext.pair);
+            for d in [p, m] {
+                let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                self.io_map.insert(id, Tag::User(user_id));
+                subs += 1;
+            }
+            meta.clears.push((ext.pair, ext.offset, ext.bytes));
+        }
+        subs
+    }
+}
+
+impl Policy for RoloPolicy {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            RoloFlavor::Performance => "RoLo-P",
+            RoloFlavor::Reliability => "RoLo-R",
+        }
+    }
+
+    fn initial_standby(&self, disk: DiskId) -> bool {
+        // All mirrors except the initial on-duty loggers start spun down.
+        disk >= self.pairs
+            && disk < 2 * self.pairs
+            && !self.loggers.contains(&(disk - self.pairs))
+    }
+
+    fn attach(&mut self, ctx: &mut SimCtx) {
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        self.phase_energy_mark = ctx.total_energy();
+        self.spin_up_secs = ctx.disk(0).params().spin_up_time.as_secs_f64();
+    }
+
+    fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord) {
+        let exts = ctx
+            .geometry()
+            .split(rec.offset, rec.bytes)
+            .expect("driver keeps requests in range");
+        let mut meta = UserMeta::default();
+        let mut subs: u32 = 0;
+        match rec.kind {
+            ReqKind::Read => {
+                // Primaries are always ACTIVE/IDLE in RoLo-P/R: no
+                // spin-up latency on reads (§III-B1).
+                for ext in &exts {
+                    let p = ctx.geometry().primary_disk(ext.pair);
+                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                    subs += 1;
+                }
+            }
+            ReqKind::Write if self.deactivated => {
+                subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                // A deactivated-mode write may unblock reactivation later;
+                // nothing to do now.
+            }
+            ReqKind::Write => {
+                let mut slot = self.pick_slot(ctx, rec.bytes);
+                if slot.is_none() && !self.deactivated {
+                    self.rotate(ctx);
+                    slot = self.pick_slot(ctx, rec.bytes);
+                    if slot.is_none() {
+                        self.deactivate(ctx);
+                    }
+                }
+                let usable_slot = if self.deactivated { None } else { slot };
+                if let Some(slot) = usable_slot {
+                    // Primary copies in place.
+                    for ext in &exts {
+                        let p = ctx.geometry().primary_disk(ext.pair);
+                        let id =
+                            ctx.submit(p, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                        self.io_map.insert(id, Tag::User(user_id));
+                        subs += 1;
+                        meta.marks.push((ext.pair, ext.offset, ext.bytes));
+                    }
+                    // Log copies on the chosen on-duty logger disk(s).
+                    for target in self.pair_targets(ctx, slot) {
+                        for ext in &exts {
+                            let segs = self
+                                .spaces
+                                .get_mut(&target)
+                                .expect("logger space exists")
+                                .alloc(ext.bytes, ext.pair, self.period)
+                                .expect("rotation guaranteed space");
+                            for seg in segs {
+                                let id = ctx.submit(
+                                    target,
+                                    IoKind::Write,
+                                    seg.offset,
+                                    seg.bytes,
+                                    Priority::Foreground,
+                                );
+                                self.io_map.insert(id, Tag::User(user_id));
+                                subs += 1;
+                                self.stats.log_appended_bytes += seg.bytes;
+                            }
+                        }
+                    }
+                    ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
+                    self.note_append(ctx.now, rec.bytes);
+                    // Spin the next on-duty logger up *before* rotation is
+                    // due, so the hand-over is seamless (no write ever
+                    // waits out a spin-up at the rotation point).
+                    let ahead = self.spin_up_ahead_bytes();
+                    let low_water = self.loggers.iter().any(|&j| {
+                        self.pair_targets(ctx, j)
+                            .iter()
+                            .any(|d| self.spaces[d].free_bytes() < ahead)
+                    });
+                    if low_water && !self.deactivated && self.eager_spinup {
+                        let next = self.next_on_duty();
+                        let m = self.mirror(ctx, next);
+                        ctx.spin_up(m);
+                    }
+                } else {
+                    subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                }
+            }
+        }
+        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        self.user_meta.insert(user_id, meta);
+    }
+
+    fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
+        match self.io_map.remove(&req.id).expect("unknown sub-request") {
+            Tag::User(user) => {
+                if ctx.user_sub_done(user).is_some() {
+                    let meta = self.user_meta.remove(&user).unwrap_or_default();
+                    for (pair, off, len) in meta.marks {
+                        self.dirty[pair].mark(off, len);
+                        self.after_dirty_change(ctx, pair);
+                    }
+                    for (pair, off, len) in meta.clears {
+                        self.dirty[pair].clear_range(off, len);
+                        self.after_dirty_change(ctx, pair);
+                    }
+                }
+            }
+            Tag::DestageRead { pair, off, len } => {
+                let m = ctx.geometry().mirror_disk(pair);
+                let id = ctx.submit(m, IoKind::Write, off, len, Priority::Background);
+                self.io_map.insert(id, Tag::DestageWrite { pair, len });
+            }
+            Tag::DestageWrite { pair, len } => {
+                self.stats.destaged_bytes += len;
+                self.chain_active[pair] = false;
+                if self.dirty[pair].is_clean() {
+                    self.complete_destage(ctx, pair);
+                } else {
+                    self.pump(ctx, pair);
+                }
+            }
+        }
+    }
+
+    fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        if disk >= self.pairs && disk < 2 * self.pairs {
+            let pair = disk - self.pairs;
+            if self.destage_active[pair] {
+                self.pump(ctx, pair);
+            }
+        }
+    }
+
+    fn on_spin_down(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_timer(&mut self, _ctx: &mut SimCtx, _token: u64) {}
+
+    fn begin_drain(&mut self, ctx: &mut SimCtx) {
+        self.draining = true;
+        for pair in 0..self.pairs {
+            if self.destage_active[pair] {
+                // Includes destages deferred while the pair was on duty.
+                self.pump(ctx, pair);
+            } else if !self.dirty[pair].is_clean() {
+                self.activate_destage(ctx, pair);
+            } else if self.spaces.values().any(|s| s.segments().iter().any(|g| g.pair == pair)) {
+                // Segments without dirtiness: every covered block is
+                // already consistent; reclaim directly.
+                for space in self.spaces.values_mut() {
+                    space.reclaim(|seg| seg.pair == pair);
+                }
+            }
+        }
+    }
+
+    fn is_drained(&self, ctx: &SimCtx) -> bool {
+        ctx.outstanding_users() == 0
+            && self.io_map.is_empty()
+            && self.dirty.iter().all(|d| d.is_clean())
+            && self.log_used_bytes() == 0
+            && !self.chain_active.iter().any(|&c| c)
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
+        for space in self.spaces.values() {
+            space.check_invariants()?;
+        }
+        for (pair, d) in self.dirty.iter().enumerate() {
+            d.check_invariants()?;
+            if !d.is_clean() {
+                return Err(format!("pair {pair} still has {} stale bytes", d.bytes()));
+            }
+        }
+        if self.log_used_bytes() != 0 {
+            return Err(format!("{} log bytes unreclaimed", self.log_used_bytes()));
+        }
+        if ctx.outstanding_users() != 0 {
+            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+        }
+        if !self.io_map.is_empty() {
+            return Err(format!("{} orphaned sub-requests", self.io_map.len()));
+        }
+        let _ = self.logger_base;
+        Ok(())
+    }
+}

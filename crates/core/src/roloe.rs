@@ -1,0 +1,550 @@
+//! RoLo-E: the energy-oriented flavor (§III-B3).
+//!
+//! One mirrored pair at a time serves as the logger *and* read cache;
+//! every other disk — primaries included — is spun down. Each write puts
+//! two copies in the logging space (one on each disk of the logger
+//! pair). Popular read blocks are cached in the logging space; a read
+//! miss forcibly spins up the target primary (the expensive event that
+//! makes RoLo-E unsuitable for read-heavy workloads, Table V), and the
+//! awakened disk spins back down after an idle timeout.
+//!
+//! When the logging space fills there is no decentralized destaging to
+//! fall back on: *all* disks spin up for a centralized destage, after
+//! which the log is reclaimed wholesale, the logger rotates to the next
+//! pair, and everything else spins back down.
+
+use crate::cache::BlockCache;
+use crate::ctx::SimCtx;
+use crate::dirty::DirtyMap;
+use crate::logspace::LoggerSpace;
+use crate::policy::{Policy, PolicyStats};
+use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_metrics::Phase;
+use rolo_sim::Duration;
+use rolo_trace::{ReqKind, TraceRecord};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Logging,
+    Destaging,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    User(u64),
+    CacheFill,
+    DestageRead { pair: usize, off: u64, len: u64 },
+    DestageWrite { pair: usize, len: u64 },
+}
+
+#[derive(Debug, Default)]
+struct UserMeta {
+    marks: Vec<(usize, u64, u64)>,
+    clears: Vec<(usize, u64, u64)>,
+    /// Cache blocks to insert at completion (read misses / fresh writes).
+    cache_fill: Vec<u64>,
+    /// Charge a background cache-fill write of this many bytes.
+    fill_bytes: u64,
+}
+
+/// The RoLo-E controller.
+#[derive(Debug)]
+pub struct RoloEPolicy {
+    pairs: usize,
+    threshold: f64,
+    chunk: u64,
+    idle_spindown: Duration,
+    stripe_unit: u64,
+    logger_base: u64,
+    logger_size: u64,
+    period: u64,
+    /// On-duty logger pairs (§III-B3: "one or several mirrored disk
+    /// pairs"). The whole window advances by one at each destage cycle.
+    logger_pairs: Vec<usize>,
+    mode: Mode,
+    /// One logical log, physically mirrored on both logger-pair disks.
+    log: LoggerSpace,
+    cache: BlockCache,
+    dirty: Vec<DirtyMap>,
+    /// Remaining destage writes of the in-flight chain per pair (0 = no
+    /// chain).
+    chain_writes: Vec<u8>,
+    io_map: HashMap<u64, Tag>,
+    user_meta: HashMap<u64, UserMeta>,
+    logging_token: Option<u64>,
+    destaging_token: Option<u64>,
+    phase_energy_mark: f64,
+    alternate: bool,
+    round_robin: usize,
+    draining: bool,
+    stats: PolicyStats,
+}
+
+impl RoloEPolicy {
+    /// Creates a RoLo-E controller.
+    ///
+    /// `cache_fraction` of the logger region caches popular reads; the
+    /// rest takes log appends.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero logger region, zero pairs or an out-of-range
+    /// cache fraction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pairs: usize,
+        logger_base: u64,
+        logger_size: u64,
+        stripe_unit: u64,
+        threshold: f64,
+        chunk: u64,
+        idle_spindown: Duration,
+        cache_fraction: f64,
+    ) -> Self {
+        assert!(pairs > 0 && logger_size > 0);
+        assert!((0.0..1.0).contains(&cache_fraction));
+        let cache_bytes = (logger_size as f64 * cache_fraction) as u64;
+        let log_share = logger_size - cache_bytes;
+        assert!(log_share > 0, "cache fraction leaves no log space");
+        RoloEPolicy {
+            pairs,
+            threshold,
+            chunk,
+            idle_spindown,
+            stripe_unit,
+            logger_base,
+            logger_size,
+            period: 0,
+            logger_pairs: vec![0],
+            mode: Mode::Logging,
+            log: LoggerSpace::new(logger_base, log_share),
+            cache: BlockCache::new((cache_bytes / stripe_unit) as usize),
+            dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
+            chain_writes: vec![0; pairs],
+            io_map: HashMap::new(),
+            user_meta: HashMap::new(),
+            logging_token: None,
+            destaging_token: None,
+            phase_energy_mark: 0.0,
+            alternate: false,
+            round_robin: 0,
+            draining: false,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// The first on-duty logger pair.
+    pub fn logger_pair(&self) -> usize {
+        self.logger_pairs[0]
+    }
+
+    /// All on-duty logger pairs.
+    pub fn on_duty_pairs(&self) -> &[usize] {
+        &self.logger_pairs
+    }
+
+    /// Sets the number of simultaneously on-duty logger pairs (before the
+    /// run starts); the initial window is pairs `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k < pairs`.
+    pub fn set_on_duty_pairs(&mut self, k: usize) {
+        assert!(k >= 1 && k < self.pairs, "on-duty window out of range");
+        self.logger_pairs = (0..k).collect();
+    }
+
+    /// Occupancy of the logical log in `[0, 1]`.
+    pub fn log_occupancy(&self) -> f64 {
+        self.log.occupancy()
+    }
+
+    /// All disks of the on-duty logger pairs.
+    fn logger_disks(&self, ctx: &SimCtx) -> Vec<DiskId> {
+        self.logger_pairs
+            .iter()
+            .flat_map(|&j| {
+                [
+                    ctx.geometry().primary_disk(j),
+                    ctx.geometry().mirror_disk(j),
+                ]
+            })
+            .collect()
+    }
+
+    /// The on-duty *pair* that takes a given write's two log copies,
+    /// chosen round-robin across the window.
+    fn pick_logger_pair(&mut self) -> usize {
+        let k = self.logger_pairs.len();
+        self.round_robin = self.round_robin.wrapping_add(1);
+        self.logger_pairs[self.round_robin % k]
+    }
+
+    /// Alternates across all on-duty disks for cache reads/fills.
+    fn next_logger_disk(&mut self, ctx: &SimCtx) -> DiskId {
+        let disks = self.logger_disks(ctx);
+        self.alternate = !self.alternate;
+        self.round_robin = self.round_robin.wrapping_add(1);
+        disks[self.round_robin % disks.len()]
+    }
+
+    /// Synthetic position of a cached/logged block inside the logger
+    /// region (the simulation tracks versions, not data placement).
+    fn log_read_offset(&self, block: u64, len: u64) -> u64 {
+        let span = self.logger_size.saturating_sub(len).max(1);
+        self.logger_base + (block * self.stripe_unit) % span
+    }
+
+    fn blocks_of(&self, offset: u64, bytes: u64) -> impl Iterator<Item = u64> {
+        let first = offset / self.stripe_unit;
+        let last = (offset + bytes - 1) / self.stripe_unit;
+        first..=last
+    }
+
+    fn start_destage(&mut self, ctx: &mut SimCtx) {
+        if self.mode == Mode::Destaging {
+            for pair in 0..self.pairs {
+                self.pump(ctx, pair);
+            }
+            self.check_destage_done(ctx);
+            return;
+        }
+        self.mode = Mode::Destaging;
+        let energy = ctx.total_energy();
+        if let Some(tok) = self.logging_token.take() {
+            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+        }
+        self.phase_energy_mark = energy;
+        self.destaging_token = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
+        for d in 0..ctx.disk_count() {
+            ctx.spin_up(d);
+        }
+        for pair in 0..self.pairs {
+            self.pump(ctx, pair);
+        }
+        self.check_destage_done(ctx);
+    }
+
+    fn pair_ready(&self, ctx: &SimCtx, pair: usize) -> bool {
+        let p = ctx.geometry().primary_disk(pair);
+        let m = ctx.geometry().mirror_disk(pair);
+        ctx.disk(p).is_spun_up() && ctx.disk(m).is_spun_up()
+    }
+
+    fn pump(&mut self, ctx: &mut SimCtx, pair: usize) {
+        if self.mode != Mode::Destaging || self.chain_writes[pair] > 0 {
+            return;
+        }
+        if !self.pair_ready(ctx, pair) {
+            return; // chain starts when the pair's spin-ups land
+        }
+        if let Some((off, len)) = self.dirty[pair].take_next(self.chunk) {
+            self.chain_writes[pair] = u8::MAX; // sentinel: read in flight
+            let src = self.next_logger_disk(ctx);
+            let read_off = self.log_read_offset(off / self.stripe_unit, len);
+            let id = ctx.submit(src, IoKind::Read, read_off, len, Priority::Background);
+            self.io_map.insert(id, Tag::DestageRead { pair, off, len });
+        }
+    }
+
+    fn check_destage_done(&mut self, ctx: &mut SimCtx) {
+        if self.mode != Mode::Destaging {
+            return;
+        }
+        let busy = self.chain_writes.iter().any(|&c| c > 0);
+        let dirty = self.dirty.iter().any(|d| !d.is_clean());
+        if busy || dirty {
+            return;
+        }
+        // Reclaim the whole log, rotate the logger pair, park the rest.
+        self.log.reclaim(|_| true);
+        self.cache.clear();
+        ctx.log_timeline.push(ctx.now, 0.0);
+        let energy = ctx.total_energy();
+        if let Some(tok) = self.destaging_token.take() {
+            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+        }
+        self.phase_energy_mark = energy;
+        self.mode = Mode::Logging;
+        self.period += 1;
+        // Advance the whole on-duty window by its width so successive
+        // cycles visit disjoint pair sets round-robin.
+        let n = self.pairs;
+        let k = self.logger_pairs.len();
+        for j in self.logger_pairs.iter_mut() {
+            *j = (*j + k) % n;
+        }
+        self.stats.rotations += 1;
+        self.stats.destage_cycles += 1;
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        if !self.draining {
+            let keep = self.logger_disks(ctx);
+            for d in 0..ctx.disk_count() {
+                if !keep.contains(&d) {
+                    ctx.spin_down(d);
+                }
+            }
+        }
+    }
+
+    fn write_direct(
+        &mut self,
+        ctx: &mut SimCtx,
+        user_id: u64,
+        meta: &mut UserMeta,
+        exts: &[rolo_raid::PhysExtent],
+    ) -> u32 {
+        self.stats.direct_writes += 1;
+        let mut subs = 0;
+        for ext in exts {
+            let p = ctx.geometry().primary_disk(ext.pair);
+            let m = ctx.geometry().mirror_disk(ext.pair);
+            for d in [p, m] {
+                let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                self.io_map.insert(id, Tag::User(user_id));
+                subs += 1;
+            }
+            meta.clears.push((ext.pair, ext.offset, ext.bytes));
+        }
+        subs
+    }
+}
+
+impl Policy for RoloEPolicy {
+    fn name(&self) -> &'static str {
+        "RoLo-E"
+    }
+
+    fn initial_standby(&self, disk: DiskId) -> bool {
+        let pair = if disk < self.pairs {
+            disk
+        } else {
+            disk - self.pairs
+        };
+        !self.logger_pairs.contains(&pair)
+    }
+
+    fn attach(&mut self, ctx: &mut SimCtx) {
+        self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
+        self.phase_energy_mark = ctx.total_energy();
+    }
+
+    fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord) {
+        let exts = ctx
+            .geometry()
+            .split(rec.offset, rec.bytes)
+            .expect("driver keeps requests in range");
+        let mut meta = UserMeta::default();
+        let mut subs: u32 = 0;
+        match rec.kind {
+            ReqKind::Read if self.mode == Mode::Logging => {
+                let hit = self
+                    .blocks_of(rec.offset, rec.bytes)
+                    .all(|b| self.cache.contains(b));
+                if hit && self.cache.capacity() > 0 {
+                    self.stats.cache_hits += 1;
+                    for b in self.blocks_of(rec.offset, rec.bytes) {
+                        self.cache.touch(b);
+                    }
+                    let d = self.next_logger_disk(ctx);
+                    let off = self.log_read_offset(rec.offset / self.stripe_unit, rec.bytes);
+                    let id = ctx.submit(d, IoKind::Read, off, rec.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                    subs += 1;
+                } else {
+                    self.stats.cache_misses += 1;
+                    for ext in &exts {
+                        let p = ctx.geometry().primary_disk(ext.pair);
+                        if !ctx.disk(p).is_spun_up() {
+                            self.stats.read_miss_spinups += 1;
+                        }
+                        let id =
+                            ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                        self.io_map.insert(id, Tag::User(user_id));
+                        subs += 1;
+                        // Spin the awakened primary back down once idle.
+                        ctx.set_timer(self.idle_spindown, p as u64);
+                    }
+                    meta.cache_fill = self.blocks_of(rec.offset, rec.bytes).collect();
+                    meta.fill_bytes = rec.bytes;
+                }
+            }
+            ReqKind::Read => {
+                // Centralized destage in progress: everything is up.
+                for ext in &exts {
+                    let p = ctx.geometry().primary_disk(ext.pair);
+                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                    subs += 1;
+                }
+            }
+            ReqKind::Write => {
+                if self.log.free_bytes() < rec.bytes {
+                    // Log exhausted: destage must run; fall back to direct
+                    // writes until space is reclaimed.
+                    self.start_destage(ctx);
+                    subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                } else {
+                    for ext in &exts {
+                        let segs = self
+                            .log
+                            .alloc(ext.bytes, ext.pair, self.period)
+                            .expect("free space checked above");
+                        // Two copies, on one on-duty pair (round-robin
+                        // across the window when it is wider than one).
+                        let pair = self.pick_logger_pair();
+                        let targets = [
+                            ctx.geometry().primary_disk(pair),
+                            ctx.geometry().mirror_disk(pair),
+                        ];
+                        for seg in segs {
+                            for d in targets {
+                                let id = ctx.submit(
+                                    d,
+                                    IoKind::Write,
+                                    seg.offset,
+                                    seg.bytes,
+                                    Priority::Foreground,
+                                );
+                                self.io_map.insert(id, Tag::User(user_id));
+                                subs += 1;
+                            }
+                            self.stats.log_appended_bytes += seg.bytes;
+                        }
+                        meta.marks.push((ext.pair, ext.offset, ext.bytes));
+                    }
+                    ctx.log_timeline.push(ctx.now, self.log.used_bytes() as f64);
+                    // The threshold leaves headroom so writes keep landing
+                    // in the log (on the already-spinning logger pair)
+                    // while the rest of the array spins up for destage.
+                    if self.mode == Mode::Logging && self.log.occupancy() >= self.threshold {
+                        self.start_destage(ctx);
+                    }
+                }
+            }
+        }
+        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        self.user_meta.insert(user_id, meta);
+    }
+
+    fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
+        match self.io_map.remove(&req.id).expect("unknown sub-request") {
+            Tag::User(user) => {
+                if ctx.user_sub_done(user).is_some() {
+                    let meta = self.user_meta.remove(&user).unwrap_or_default();
+                    for (pair, off, len) in meta.marks {
+                        self.dirty[pair].mark(off, len);
+                        if self.mode == Mode::Destaging {
+                            self.pump(ctx, pair);
+                        }
+                    }
+                    for (pair, off, len) in meta.clears {
+                        self.dirty[pair].clear_range(off, len);
+                        if self.mode == Mode::Destaging {
+                            self.check_destage_done(ctx);
+                        }
+                    }
+                    if self.mode == Mode::Logging && !meta.cache_fill.is_empty() {
+                        for b in meta.cache_fill {
+                            self.cache.insert(b);
+                        }
+                        if meta.fill_bytes > 0 {
+                            // Writing the fetched blocks into the cache
+                            // costs a background write on a logger disk.
+                            let d = self.next_logger_disk(ctx);
+                            let off = self.log_read_offset(req.offset / self.stripe_unit, meta.fill_bytes);
+                            let id = ctx.submit(d, IoKind::Write, off, meta.fill_bytes, Priority::Background);
+                            self.io_map.insert(id, Tag::CacheFill);
+                        }
+                    }
+                }
+            }
+            Tag::CacheFill => {}
+            Tag::DestageRead { pair, off, len } => {
+                let p = ctx.geometry().primary_disk(pair);
+                let m = ctx.geometry().mirror_disk(pair);
+                self.chain_writes[pair] = 2;
+                for d in [p, m] {
+                    let id = ctx.submit(d, IoKind::Write, off, len, Priority::Background);
+                    self.io_map.insert(id, Tag::DestageWrite { pair, len });
+                }
+            }
+            Tag::DestageWrite { pair, len } => {
+                self.chain_writes[pair] -= 1;
+                if self.chain_writes[pair] == 0 {
+                    self.stats.destaged_bytes += len;
+                    self.pump(ctx, pair);
+                    self.check_destage_done(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        if self.mode == Mode::Destaging {
+            let pair = if disk < self.pairs {
+                disk
+            } else if disk < 2 * self.pairs {
+                disk - self.pairs
+            } else {
+                return;
+            };
+            self.pump(ctx, pair);
+        }
+    }
+
+    fn on_spin_down(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+
+    fn on_timer(&mut self, ctx: &mut SimCtx, token: u64) {
+        let disk = token as usize;
+        if self.mode != Mode::Logging || disk >= ctx.disk_count() {
+            return;
+        }
+        if self.logger_disks(ctx).contains(&disk) {
+            return;
+        }
+        if ctx.disk(disk).is_idle() {
+            ctx.spin_down(disk);
+        }
+    }
+
+    fn begin_drain(&mut self, ctx: &mut SimCtx) {
+        self.draining = true;
+        if self.log.used_bytes() > 0 || self.dirty.iter().any(|d| !d.is_clean()) {
+            self.start_destage(ctx);
+        }
+    }
+
+    fn is_drained(&self, ctx: &SimCtx) -> bool {
+        self.mode == Mode::Logging
+            && self.log.used_bytes() == 0
+            && self.dirty.iter().all(|d| d.is_clean())
+            && ctx.outstanding_users() == 0
+            && self.io_map.is_empty()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
+        self.log.check_invariants()?;
+        for (pair, d) in self.dirty.iter().enumerate() {
+            d.check_invariants()?;
+            if !d.is_clean() {
+                return Err(format!("pair {pair} still has {} stale bytes", d.bytes()));
+            }
+        }
+        if self.log.used_bytes() != 0 {
+            return Err(format!("{} log bytes unreclaimed", self.log.used_bytes()));
+        }
+        if ctx.outstanding_users() != 0 {
+            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+        }
+        if !self.io_map.is_empty() {
+            return Err(format!("{} orphaned sub-requests", self.io_map.len()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Disk service-time and power model for the RoLo simulator.
+//!
+//! This crate is the reproduction's substitute for DiskSim 4.0 augmented
+//! with the Dempsey power model (see DESIGN.md §1). It provides:
+//!
+//! * [`DiskParams`] — mechanical and power parameters, including the IBM
+//!   Ultrastar 36Z15 configuration used throughout the paper (Table II);
+//! * [`service`] — a positioning-aware service-time model (seek +
+//!   rotation + transfer) that recognises sequential accesses, which is
+//!   the physical effect every logging architecture exploits;
+//! * [`power`] — a five-state power model (ACTIVE, IDLE, STANDBY, spinning
+//!   up/down) with energy integration and spin-cycle counting;
+//! * [`Disk`] — a single simulated disk: a two-priority request queue
+//!   (foreground user I/O vs. background destage I/O), the power state
+//!   machine, and per-disk statistics.
+//!
+//! The disk is a *passive* state machine: it never owns the event queue.
+//! Callers submit requests and feed completions back in; every method that
+//! starts an activity returns the simulated instant at which the caller
+//! must deliver the corresponding completion event. This inversion keeps
+//! the hot path free of shared mutability.
+//!
+//! # Example
+//!
+//! ```
+//! use rolo_disk::{Disk, DiskParams, DiskRequest, IoKind, Priority};
+//! use rolo_sim::{SimRng, SimTime};
+//!
+//! let mut disk = Disk::new(0, DiskParams::ultrastar_36z15(), SimRng::seed_from(1));
+//! let req = DiskRequest::new(1, IoKind::Write, 0, 64 * 1024, Priority::Foreground);
+//! let wake = disk.submit(req, SimTime::ZERO).unwrap();
+//! let done = disk.on_io_complete(wake.due());
+//! assert_eq!(done.completed.id, 1);
+//! ```
+
+pub mod disk;
+pub mod params;
+pub mod power;
+pub mod service;
+
+pub use disk::{CompletionOutcome, Disk, DiskIoStats, DiskRequest, DiskWake, IdleGapHistogram, IoKind, Priority, SchedulerKind};
+pub use params::DiskParams;
+pub use power::{DiskEnergyReport, EnergyMeter, PowerState};
+pub use service::ServiceModel;
+
+/// Identifier of a disk within an array.
+pub type DiskId = usize;

@@ -1,0 +1,229 @@
+//! Disk mechanical and power parameters.
+//!
+//! Parameter values for the IBM Ultrastar 36Z15 are taken verbatim from
+//! Table II of the paper; the geometry (cylinder count) is derived from the
+//! public datasheet. Alternate capacities (used by the paper's disk-size
+//! sensitivity study, §V-C) are produced with [`DiskParams::with_capacity`].
+
+use rolo_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Mechanical, geometric and power parameters of a disk model.
+///
+/// # Example
+///
+/// ```
+/// use rolo_disk::DiskParams;
+/// let p = DiskParams::ultrastar_36z15();
+/// assert_eq!(p.rpm, 15_000);
+/// assert!((p.full_rotation().as_millis_f64() - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Human-readable model name.
+    pub model: String,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Datasheet average seek time.
+    pub avg_seek: Duration,
+    /// Fixed per-seek settle/overhead component.
+    pub seek_settle: Duration,
+    /// Sustained media transfer rate in bytes per second.
+    pub transfer_rate: u64,
+    /// Number of logical cylinders used by the seek-distance model.
+    pub cylinders: u32,
+    /// Power drawn while actively servicing a request (W).
+    pub power_active_w: f64,
+    /// Power drawn while spun up but idle (W).
+    pub power_idle_w: f64,
+    /// Power drawn while spun down (W).
+    pub power_standby_w: f64,
+    /// Energy consumed by one spin-down transition (J).
+    pub spin_down_energy_j: f64,
+    /// Energy consumed by one spin-up transition (J).
+    pub spin_up_energy_j: f64,
+    /// Wall time of a spin-down transition.
+    pub spin_down_time: Duration,
+    /// Wall time of a spin-up transition.
+    pub spin_up_time: Duration,
+}
+
+impl DiskParams {
+    /// The IBM Ultrastar 36Z15 used throughout the paper's evaluation
+    /// (Table II): 18.4 GB, 15 kRPM, 3.4 ms average seek, 55 MB/s,
+    /// 13.5/10.2/2.5 W active/idle/standby, 13 J / 135 J and 1.5 s / 10.9 s
+    /// spin down/up.
+    pub fn ultrastar_36z15() -> Self {
+        DiskParams {
+            model: "IBM Ultrastar 36Z15".to_owned(),
+            capacity_bytes: 18_400 * 1024 * 1024, // 18.4 GB (binary MB, close enough to datasheet)
+            rpm: 15_000,
+            avg_seek: Duration::from_micros(3_400),
+            seek_settle: Duration::from_micros(300),
+            transfer_rate: 55 * 1024 * 1024,
+            cylinders: 18_986, // datasheet user cylinders
+            power_active_w: 13.5,
+            power_idle_w: 10.2,
+            power_standby_w: 2.5,
+            spin_down_energy_j: 13.0,
+            spin_up_energy_j: 135.0,
+            spin_down_time: Duration::from_millis(1_500),
+            spin_up_time: Duration::from_millis(10_900),
+        }
+    }
+
+    /// The Seagate Cheetah 15K.5 the paper names for its disk-model
+    /// future work (§V-C: *"The energy saving effectiveness of RoLo over
+    /// GRAID under different disk models, such as Seagate Cheetah 15K.5
+    /// ... will be studied as our future work"*). Datasheet-approximate:
+    /// 300 GB, 15 kRPM, 3.5 ms average seek, ~85 MB/s sustained,
+    /// 17.8/12.0/2.8 W active/idle/standby, heavier spindle (15 s
+    /// spin-up at 200 J).
+    pub fn cheetah_15k5() -> Self {
+        DiskParams {
+            model: "Seagate Cheetah 15K.5".to_owned(),
+            capacity_bytes: 300_000 * 1024 * 1024,
+            rpm: 15_000,
+            avg_seek: Duration::from_micros(3_500),
+            seek_settle: Duration::from_micros(300),
+            transfer_rate: 85 * 1024 * 1024,
+            cylinders: 50_864,
+            power_active_w: 17.8,
+            power_idle_w: 12.0,
+            power_standby_w: 2.8,
+            spin_down_energy_j: 20.0,
+            spin_up_energy_j: 200.0,
+            spin_down_time: Duration::from_millis(2_000),
+            spin_up_time: Duration::from_millis(15_000),
+        }
+    }
+
+    /// Same mechanics with a different usable capacity (GiB), for the disk
+    /// size sensitivity study. The cylinder count scales with capacity so
+    /// seek distances stay proportionate.
+    pub fn with_capacity(&self, capacity_gib: f64) -> Self {
+        assert!(capacity_gib > 0.0, "capacity must be positive");
+        let capacity_bytes = (capacity_gib * 1024.0 * 1024.0 * 1024.0) as u64;
+        let ratio = capacity_bytes as f64 / self.capacity_bytes as f64;
+        DiskParams {
+            model: format!("{} ({capacity_gib} GiB)", self.model),
+            capacity_bytes,
+            cylinders: ((self.cylinders as f64 * ratio).round() as u32).max(64),
+            ..self.clone()
+        }
+    }
+
+    /// Time of one full platter rotation.
+    pub fn full_rotation(&self) -> Duration {
+        Duration::from_secs_f64(60.0 / f64::from(self.rpm))
+    }
+
+    /// Average rotational latency (half a rotation).
+    pub fn avg_rotation(&self) -> Duration {
+        self.full_rotation() / 2
+    }
+
+    /// Bytes per logical cylinder under the simplified geometry.
+    pub fn bytes_per_cylinder(&self) -> u64 {
+        (self.capacity_bytes / u64::from(self.cylinders)).max(1)
+    }
+
+    /// Transfer time for `bytes` at the sustained media rate.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.transfer_rate as f64)
+    }
+
+    /// The break-even time of the spin-down/up cycle: the shortest idle
+    /// period for which spinning down saves energy versus idling. Idle
+    /// periods shorter than this (the common case, per §II) make spin-down
+    /// counterproductive.
+    pub fn break_even_time(&self) -> Duration {
+        // Solve: idle_power * T = down_e + up_e + standby_power * (T - down_t - up_t)
+        let trans_e = self.spin_down_energy_j + self.spin_up_energy_j;
+        let trans_t = self.spin_down_time + self.spin_up_time;
+        let delta_p = self.power_idle_w - self.power_standby_w;
+        assert!(delta_p > 0.0, "idle power must exceed standby power");
+        let t = (trans_e - self.power_standby_w * trans_t.as_secs_f64()) / delta_p;
+        Duration::from_secs_f64(t.max(trans_t.as_secs_f64()))
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self::ultrastar_36z15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let p = DiskParams::ultrastar_36z15();
+        assert_eq!(p.rpm, 15_000);
+        assert_eq!(p.avg_seek, Duration::from_micros(3_400));
+        assert_eq!(p.power_active_w, 13.5);
+        assert_eq!(p.power_idle_w, 10.2);
+        assert_eq!(p.power_standby_w, 2.5);
+        assert_eq!(p.spin_up_energy_j, 135.0);
+        assert_eq!(p.spin_down_energy_j, 13.0);
+        assert_eq!(p.spin_up_time, Duration::from_millis(10_900));
+        assert_eq!(p.spin_down_time, Duration::from_millis(1_500));
+    }
+
+    #[test]
+    fn rotation_is_4ms_at_15k() {
+        let p = DiskParams::ultrastar_36z15();
+        assert!((p.full_rotation().as_millis_f64() - 4.0).abs() < 1e-9);
+        assert!((p.avg_rotation().as_millis_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_matches_rate() {
+        let p = DiskParams::ultrastar_36z15();
+        let t = p.transfer_time(55 * 1024 * 1024);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        // 64 KiB at 55 MiB/s ~ 1.136 ms
+        let t64k = p.transfer_time(64 * 1024);
+        assert!((t64k.as_millis_f64() - 1.136).abs() < 0.01);
+    }
+
+    #[test]
+    fn capacity_scaling_keeps_mechanics() {
+        let p = DiskParams::ultrastar_36z15();
+        let half = p.with_capacity(9.2);
+        assert_eq!(half.rpm, p.rpm);
+        assert_eq!(half.avg_seek, p.avg_seek);
+        assert!(half.capacity_bytes < p.capacity_bytes);
+        assert!(half.cylinders < p.cylinders);
+    }
+
+    #[test]
+    fn break_even_is_many_seconds() {
+        let p = DiskParams::ultrastar_36z15();
+        let be = p.break_even_time();
+        // (148 - 2.5*12.4) / 7.7 ≈ 15.2 s
+        assert!(be.as_secs_f64() > 12.0 && be.as_secs_f64() < 20.0, "{be}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn with_capacity_rejects_zero() {
+        DiskParams::ultrastar_36z15().with_capacity(0.0);
+    }
+
+    #[test]
+    fn cheetah_is_bigger_faster_hungrier() {
+        let u = DiskParams::ultrastar_36z15();
+        let c = DiskParams::cheetah_15k5();
+        assert!(c.capacity_bytes > 10 * u.capacity_bytes);
+        assert!(c.transfer_rate > u.transfer_rate);
+        assert!(c.power_idle_w > u.power_idle_w);
+        assert_eq!(c.rpm, 15_000);
+        // Heavier spindle → longer break-even.
+        assert!(c.break_even_time() > u.break_even_time());
+    }
+}

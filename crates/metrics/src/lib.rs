@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Statistics collection for the RoLo simulator.
+//!
+//! The paper's evaluation reports four families of measurements, each
+//! served by one module here:
+//!
+//! * [`response`] — per-request response-time statistics (mean, extremes,
+//!   percentiles) backing every "average response time" figure;
+//! * [`histogram`] — the log-scaled latency histogram underlying the
+//!   percentile queries;
+//! * [`intervals`] — phase tracking for logging/destaging periods, from
+//!   which the *destaging interval ratio* and *destaging energy ratio* of
+//!   Fig. 2 are computed;
+//! * [`timeline`] — sampled time-series (e.g. occupied logging capacity
+//!   over time, Fig. 2a).
+//!
+//! Energy itself is metered per disk in `rolo-disk`; this crate supplies
+//! the aggregation-side machinery.
+
+pub mod histogram;
+pub mod intervals;
+pub mod response;
+pub mod timeline;
+
+pub use histogram::LatencyHistogram;
+pub use intervals::{IntervalTracker, Phase, PhaseSummary};
+pub use response::ResponseStats;
+pub use timeline::Timeline;

@@ -1,0 +1,202 @@
+//! Streaming response-time statistics.
+
+use crate::histogram::LatencyHistogram;
+use rolo_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Streaming response-time statistics: count, mean (Welford), extremes,
+/// plus a log-scaled histogram for percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use rolo_metrics::ResponseStats;
+/// use rolo_sim::Duration;
+///
+/// let mut s = ResponseStats::new();
+/// s.record(Duration::from_millis(2));
+/// s.record(Duration::from_millis(4));
+/// assert_eq!(s.count(), 2);
+/// assert!((s.mean().as_millis_f64() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseStats {
+    count: u64,
+    mean_us: f64,
+    m2_us: f64,
+    min: Duration,
+    max: Duration,
+    histogram: LatencyHistogram,
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        ResponseStats {
+            count: 0,
+            mean_us: 0.0,
+            m2_us: 0.0,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records one response time.
+    pub fn record(&mut self, d: Duration) {
+        self.count += 1;
+        let x = d.as_micros() as f64;
+        let delta = x - self.mean_us;
+        self.mean_us += delta / self.count as f64;
+        self.m2_us += delta * (x - self.mean_us);
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.histogram.record(d);
+    }
+
+    /// Number of recorded responses.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean response time (zero if empty).
+    pub fn mean(&self) -> Duration {
+        Duration::from_micros(self.mean_us.round() as u64)
+    }
+
+    /// Mean as fractional milliseconds (the unit of Fig. 12).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us / 1e3
+    }
+
+    /// Population standard deviation (zero if fewer than two samples).
+    pub fn stddev(&self) -> Duration {
+        if self.count < 2 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.m2_us / self.count as f64).sqrt().round() as u64)
+    }
+
+    /// Fastest recorded response, or `None` if empty.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Slowest recorded response, or `None` if empty.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Percentile query via the underlying histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        self.histogram.percentile(p)
+    }
+
+    /// Merges another collector into this one. The merged mean/variance
+    /// use the standard parallel-Welford combination.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean_us - self.mean_us;
+        self.mean_us += delta * n2 / (n1 + n2);
+        self.m2_us += other.m2_us + delta * delta * n1 * n2 / (n1 + n2);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.histogram.merge(&other.histogram);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = ResponseStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert_eq!(s.stddev(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut s = ResponseStats::new();
+        for ms in [1u64, 2, 3, 4, 5] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.mean(), Duration::from_millis(3));
+        assert_eq!(s.min().unwrap(), Duration::from_millis(1));
+        assert_eq!(s.max().unwrap(), Duration::from_millis(5));
+        // Population stddev of 1..5 ms = sqrt(2) ms.
+        assert!((s.stddev().as_millis_f64() - 2.0f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut all = ResponseStats::new();
+        let mut a = ResponseStats::new();
+        let mut b = ResponseStats::new();
+        for i in 0..100u64 {
+            let d = Duration::from_micros(100 + i * 37);
+            all.record(d);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean_ms() - all.mean_ms()).abs() < 1e-9);
+        assert!(
+            (a.stddev().as_micros() as f64 - all.stddev().as_micros() as f64).abs() <= 1.0
+        );
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = ResponseStats::new();
+        a.record(Duration::from_millis(7));
+        let b = ResponseStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = ResponseStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), Duration::from_millis(7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_extremes(values in proptest::collection::vec(1u64..10_000_000, 1..100)) {
+            let mut s = ResponseStats::new();
+            for v in &values {
+                s.record(Duration::from_micros(*v));
+            }
+            prop_assert!(s.mean() >= s.min().unwrap());
+            prop_assert!(s.mean() <= s.max().unwrap());
+            prop_assert_eq!(s.count(), values.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! In-place RAID5 baseline: the classic small-write read-modify-write.
+//!
+//! Each sub-stripe write performs read-old-data + read-old-parity, then
+//! write-data + write-parity (two dependent phases). Reads are single
+//! I/Os. All disks stay ACTIVE/IDLE (every spindle holds data).
+
+use crate::geometry::Raid5Geometry;
+use rolo_core::ctx::SimCtx;
+use rolo_core::policy::{Policy, PolicyStats};
+use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_trace::{ReqKind, TraceRecord};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    /// Direct user sub-request (reads).
+    User(u64),
+    /// Phase-1 read of an RMW chain.
+    ChainRead(u64),
+    /// Phase-2 write of an RMW chain.
+    ChainWrite(u64),
+}
+
+#[derive(Debug)]
+struct Chain {
+    user: u64,
+    data_disk: DiskId,
+    data_offset: u64,
+    parity_disk: DiskId,
+    parity_offset: u64,
+    bytes: u64,
+    reads_left: u8,
+    writes_left: u8,
+}
+
+/// The in-place RAID5 controller.
+#[derive(Debug)]
+pub struct Raid5Policy {
+    geometry: Raid5Geometry,
+    io_map: HashMap<u64, Tag>,
+    chains: HashMap<u64, Chain>,
+    next_chain: u64,
+}
+
+impl Raid5Policy {
+    /// Creates the baseline controller over `geometry`.
+    pub fn new(geometry: Raid5Geometry) -> Self {
+        Raid5Policy {
+            geometry,
+            io_map: HashMap::new(),
+            chains: HashMap::new(),
+            next_chain: 0,
+        }
+    }
+
+    /// The RAID5 geometry in use.
+    pub fn geometry(&self) -> &Raid5Geometry {
+        &self.geometry
+    }
+}
+
+impl Policy for Raid5Policy {
+    fn name(&self) -> &'static str {
+        "RAID5"
+    }
+
+    fn initial_standby(&self, _disk: DiskId) -> bool {
+        false
+    }
+
+    fn attach(&mut self, _ctx: &mut SimCtx) {}
+
+    fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord) {
+        let capacity = self.geometry.logical_capacity();
+        let bytes = rec.bytes.min(capacity);
+        let offset = rec.offset.min(capacity - bytes);
+        let exts = self.geometry.split(offset, bytes);
+        match rec.kind {
+            ReqKind::Read => {
+                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                for e in exts {
+                    let id = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user_id));
+                }
+            }
+            ReqKind::Write => {
+                // One RMW chain per extent; the user completes when every
+                // chain's phase-2 writes land.
+                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                for e in exts {
+                    let chain = self.next_chain;
+                    self.next_chain += 1;
+                    self.chains.insert(
+                        chain,
+                        Chain {
+                            user: user_id,
+                            data_disk: e.data_disk,
+                            data_offset: e.offset,
+                            parity_disk: e.parity_disk,
+                            parity_offset: e.parity_offset,
+                            bytes: e.bytes,
+                            reads_left: 2,
+                            writes_left: 2,
+                        },
+                    );
+                    let r1 = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    self.io_map.insert(r1, Tag::ChainRead(chain));
+                    let r2 = ctx.submit(e.parity_disk, IoKind::Read, e.parity_offset, e.bytes, Priority::Foreground);
+                    self.io_map.insert(r2, Tag::ChainRead(chain));
+                }
+            }
+        }
+    }
+
+    fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
+        match self.io_map.remove(&req.id).expect("unknown sub-request") {
+            Tag::User(user) => {
+                ctx.user_sub_done(user);
+            }
+            Tag::ChainRead(chain_id) => {
+                let chain = self.chains.get_mut(&chain_id).expect("chain exists");
+                chain.reads_left -= 1;
+                if chain.reads_left == 0 {
+                    let (dd, doff, pd, poff, len) = (
+                        chain.data_disk,
+                        chain.data_offset,
+                        chain.parity_disk,
+                        chain.parity_offset,
+                        chain.bytes,
+                    );
+                    let w1 = ctx.submit(dd, IoKind::Write, doff, len, Priority::Foreground);
+                    self.io_map.insert(w1, Tag::ChainWrite(chain_id));
+                    let w2 = ctx.submit(pd, IoKind::Write, poff, len, Priority::Foreground);
+                    self.io_map.insert(w2, Tag::ChainWrite(chain_id));
+                }
+            }
+            Tag::ChainWrite(chain_id) => {
+                let chain = self.chains.get_mut(&chain_id).expect("chain exists");
+                chain.writes_left -= 1;
+                if chain.writes_left == 0 {
+                    let user = chain.user;
+                    self.chains.remove(&chain_id);
+                    ctx.user_sub_done(user);
+                }
+            }
+        }
+    }
+
+    fn on_spin_up(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_spin_down(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
+    fn on_timer(&mut self, _ctx: &mut SimCtx, _token: u64) {}
+    fn begin_drain(&mut self, _ctx: &mut SimCtx) {}
+
+    fn is_drained(&self, ctx: &SimCtx) -> bool {
+        ctx.outstanding_users() == 0 && self.chains.is_empty()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+
+    fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
+        if !self.chains.is_empty() {
+            return Err(format!("{} RMW chains still open", self.chains.len()));
+        }
+        if !self.io_map.is_empty() {
+            return Err(format!("{} orphaned sub-requests", self.io_map.len()));
+        }
+        if ctx.outstanding_users() != 0 {
+            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+        }
+        Ok(())
+    }
+}

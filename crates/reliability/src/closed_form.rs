@@ -1,0 +1,145 @@
+//! The paper's published MTTDL equations (§IV, Eqs. 1–5).
+//!
+//! All equations are for the four-disk system model (two mirrored pairs;
+//! GRAID adds its dedicated log disk for five total). `lambda` is the
+//! per-disk failure rate and `mu` the repair rate, both per hour; the
+//! result is in hours.
+
+/// Validates rate arguments shared by all equations.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda` and `0 < mu`, both finite.
+fn check(lambda: f64, mu: f64) {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be finite and positive, got {lambda}"
+    );
+    assert!(
+        mu.is_finite() && mu > 0.0,
+        "mu must be finite and positive, got {mu}"
+    );
+}
+
+/// Eq. (1): `MTTDL_RAID10-4 ≈ (3λ + µ) / 4λ²`.
+pub fn raid10_4(lambda: f64, mu: f64) -> f64 {
+    check(lambda, mu);
+    (3.0 * lambda + mu) / (4.0 * lambda * lambda)
+}
+
+/// Eq. (2): `MTTDL_GRAID-5 ≈ (17λ + 2µ) / 12λ²` (four data disks plus the
+/// dedicated log disk).
+pub fn graid_5(lambda: f64, mu: f64) -> f64 {
+    check(lambda, mu);
+    (17.0 * lambda + 2.0 * mu) / (12.0 * lambda * lambda)
+}
+
+/// Eq. (3): `MTTDL_RoLo-P-4 ≈ (10λ + µ) / 5λ²`.
+pub fn rolo_p_4(lambda: f64, mu: f64) -> f64 {
+    check(lambda, mu);
+    (10.0 * lambda + mu) / (5.0 * lambda * lambda)
+}
+
+/// Eq. (4): `MTTDL_RoLo-R-4 ≈ (15λ + 2µ) / 6λ²`.
+pub fn rolo_r_4(lambda: f64, mu: f64) -> f64 {
+    check(lambda, mu);
+    (15.0 * lambda + 2.0 * mu) / (6.0 * lambda * lambda)
+}
+
+/// Eq. (5): `MTTDL_RoLo-E-4 ≈ (3λ + µ) / 2λ²`.
+pub fn rolo_e_4(lambda: f64, mu: f64) -> f64 {
+    check(lambda, mu);
+    (3.0 * lambda + mu) / (2.0 * lambda * lambda)
+}
+
+/// The paper's λ: one failure every 10⁵ hours (§IV, Fig. 9).
+pub const PAPER_LAMBDA_PER_HOUR: f64 = 1.0 / 100_000.0;
+
+/// Converts an MTTR in days to the repair rate µ (per hour).
+///
+/// # Panics
+///
+/// Panics if `days` is not finite and positive.
+pub fn mttr_days_to_mu(days: f64) -> f64 {
+    assert!(days.is_finite() && days > 0.0, "MTTR must be positive");
+    1.0 / (days * 24.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hours_to_years;
+
+    const L: f64 = PAPER_LAMBDA_PER_HOUR;
+
+    #[test]
+    fn fig9_ordering_holds_across_mttr_range() {
+        // Fig. 9: RoLo-R > RAID10 > RoLo-P > GRAID for MTTR of 1–7 days.
+        for days in 1..=7 {
+            let mu = mttr_days_to_mu(days as f64);
+            let rr = rolo_r_4(L, mu);
+            let r10 = raid10_4(L, mu);
+            let rp = rolo_p_4(L, mu);
+            let g = graid_5(L, mu);
+            assert!(rr > r10, "day {days}");
+            assert!(r10 > rp, "day {days}");
+            assert!(rp > g, "day {days}");
+        }
+    }
+
+    #[test]
+    fn rolo_r_beats_raid10_by_up_to_a_third() {
+        // Paper: "it outperforms RAID10 in terms of MTTDL by up to 33%".
+        let mu = mttr_days_to_mu(1.0);
+        let ratio = rolo_r_4(L, mu) / raid10_4(L, mu);
+        assert!((ratio - 4.0 / 3.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn raid10_beats_rolo_p_by_up_to_20_percent() {
+        // Paper: RAID10 > RoLo-P "by up to 20%": (µ/4)/(µ/5) = 1.25 — the
+        // paper's 20% reads as RoLo-P being 20% below RAID10.
+        let mu = mttr_days_to_mu(1.0);
+        let ratio = rolo_p_4(L, mu) / raid10_4(L, mu);
+        assert!((ratio - 0.8).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rolo_e_is_double_raid10() {
+        // §IV: "MTTDL of RoLo-E is n times that of RAID10 ... (2 for this
+        // case)".
+        let mu = mttr_days_to_mu(3.0);
+        let ratio = rolo_e_4(L, mu) / raid10_4(L, mu);
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn magnitudes_match_fig9_axis() {
+        // Fig. 9's y-axis spans 0–16000 years for MTTR 1–7 days.
+        let mu = mttr_days_to_mu(1.0);
+        let years = hours_to_years(rolo_r_4(L, mu));
+        assert!(years > 1000.0 && years < 20_000.0, "{years}");
+        let mu7 = mttr_days_to_mu(7.0);
+        let worst = hours_to_years(graid_5(L, mu7));
+        assert!(worst > 50.0 && worst < 2000.0, "{worst}");
+    }
+
+    #[test]
+    fn mttdl_decreases_with_longer_repair() {
+        let a = raid10_4(L, mttr_days_to_mu(1.0));
+        let b = raid10_4(L, mttr_days_to_mu(7.0));
+        assert!(a > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite and positive")]
+    fn rejects_bad_lambda() {
+        raid10_4(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTR must be positive")]
+    fn rejects_bad_mttr() {
+        mttr_days_to_mu(-1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Absorbing continuous-time Markov chains and expected absorption times.
+//!
+//! For a CTMC with transient states `T` and generator `Q`, the vector of
+//! expected times to absorption `t` satisfies `Q_T · t = −1` where `Q_T`
+//! is the generator restricted to `T`. The chains here are tiny (≤ a few
+//! dozen states), so a dense Gaussian elimination with partial pivoting is
+//! plenty.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or solving a chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// A state index was out of range.
+    BadState(usize),
+    /// A transition rate was not finite and positive.
+    BadRate(f64),
+    /// A self-loop was specified.
+    SelfLoop(usize),
+    /// The linear system is singular — some transient state cannot reach
+    /// the absorbing state, so its absorption time is infinite.
+    NotAbsorbing,
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::BadState(s) => write!(f, "state index {s} out of range"),
+            CtmcError::BadRate(r) => write!(f, "transition rate {r} must be finite and positive"),
+            CtmcError::SelfLoop(s) => write!(f, "self-loop on state {s}"),
+            CtmcError::NotAbsorbing => {
+                write!(f, "chain has transient states that cannot reach absorption")
+            }
+        }
+    }
+}
+
+impl Error for CtmcError {}
+
+/// An absorbing CTMC over states `0..states` plus one implicit absorbing
+/// state addressed as [`MarkovChain::ABSORBING`].
+///
+/// # Example
+///
+/// Two-state chain `0 →(2λ) 1 →(λ) loss`, with repair `1 →(µ) 0` — the
+/// paper's RoLo-E model (Fig. 8), whose MTTDL is `(3λ+µ)/(2λ²)` (Eq. 5):
+///
+/// ```
+/// use rolo_reliability::MarkovChain;
+///
+/// let (l, m) = (1e-5, 0.04);
+/// let mut c = MarkovChain::new(2);
+/// c.add(0, 1, 2.0 * l)?;
+/// c.add(1, MarkovChain::ABSORBING, l)?;
+/// c.add(1, 0, m)?;
+/// let mttdl = c.absorption_time(0)?;
+/// let eq5 = (3.0 * l + m) / (2.0 * l * l);
+/// assert!((mttdl - eq5).abs() / eq5 < 1e-9);
+/// # Ok::<(), rolo_reliability::CtmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    states: usize,
+    /// (from, to, rate); `to == usize::MAX` targets the absorbing state.
+    transitions: Vec<(usize, usize, f64)>,
+}
+
+impl MarkovChain {
+    /// Address of the implicit absorbing ("data loss") state.
+    pub const ABSORBING: usize = usize::MAX;
+
+    /// Creates a chain with `states` transient states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is zero.
+    pub fn new(states: usize) -> Self {
+        assert!(states > 0, "chain needs at least one transient state");
+        MarkovChain {
+            states,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of transient states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// The transitions added so far, as `(from, to, rate)` triples
+    /// (`to == `[`Self::ABSORBING`] targets the absorbing state).
+    pub fn transitions(&self) -> &[(usize, usize, f64)] {
+        &self.transitions
+    }
+
+    /// Adds a transition `from → to` at `rate`. Parallel transitions
+    /// between the same pair accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range states, non-positive/non-finite rates, and
+    /// self-loops.
+    pub fn add(&mut self, from: usize, to: usize, rate: f64) -> Result<(), CtmcError> {
+        if from >= self.states {
+            return Err(CtmcError::BadState(from));
+        }
+        if to != Self::ABSORBING && to >= self.states {
+            return Err(CtmcError::BadState(to));
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CtmcError::BadRate(rate));
+        }
+        if from == to {
+            return Err(CtmcError::SelfLoop(from));
+        }
+        self.transitions.push((from, to, rate));
+        Ok(())
+    }
+
+    /// Expected time to absorption starting from `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmcError::BadState`] for an out-of-range start,
+    /// [`CtmcError::NotAbsorbing`] if absorption is unreachable from some
+    /// transient state (singular system).
+    pub fn absorption_time(&self, from: usize) -> Result<f64, CtmcError> {
+        if from >= self.states {
+            return Err(CtmcError::BadState(from));
+        }
+        let n = self.states;
+        // Build A = Q_T (row-major), b = -1.
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![-1.0f64; n];
+        for &(s, t, r) in &self.transitions {
+            a[s * n + s] -= r;
+            if t != Self::ABSORBING {
+                a[s * n + t] += r;
+            }
+        }
+        // Gaussian elimination with partial pivoting.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[perm[r] * n + col].abs()))
+                .fold((col, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            if pivot_val < 1e-300 {
+                return Err(CtmcError::NotAbsorbing);
+            }
+            perm.swap(col, pivot_row);
+            let p = perm[col];
+            #[allow(clippy::needless_range_loop)] // row indices shift under `perm`
+            for r in (col + 1)..n {
+                let row = perm[r];
+                let factor = a[row * n + col] / a[p * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[row * n + c] -= factor * a[p * n + c];
+                }
+                b[row] -= factor * b[p];
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0f64; n];
+        for col in (0..n).rev() {
+            let row = perm[col];
+            let mut acc = b[row];
+            for c in (col + 1)..n {
+                acc -= a[row * n + c] * x[c];
+            }
+            x[col] = acc / a[row * n + col];
+        }
+        let t = x[from];
+        if !t.is_finite() || t < 0.0 {
+            return Err(CtmcError::NotAbsorbing);
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_state_exponential() {
+        // 0 → loss at rate r: expected absorption 1/r.
+        let mut c = MarkovChain::new(1);
+        c.add(0, MarkovChain::ABSORBING, 0.25).unwrap();
+        let t = c.absorption_time(0).unwrap();
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_state_with_repair_formula() {
+        // 0 →(a) 1, 1 →(c) loss, 1 →(m) 0: t0 = (a + c + m)/(a c).
+        let (a, cc, m) = (0.3, 0.07, 2.0);
+        let mut c = MarkovChain::new(2);
+        c.add(0, 1, a).unwrap();
+        c.add(1, MarkovChain::ABSORBING, cc).unwrap();
+        c.add(1, 0, m).unwrap();
+        let t = c.absorption_time(0).unwrap();
+        let expect = (a + cc + m) / (a * cc);
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn tandem_chain() {
+        // 0 →(r) 1 →(r) 2 →(r) loss: expected 3/r.
+        let r = 0.5;
+        let mut c = MarkovChain::new(3);
+        c.add(0, 1, r).unwrap();
+        c.add(1, 2, r).unwrap();
+        c.add(2, MarkovChain::ABSORBING, r).unwrap();
+        let t = c.absorption_time(0).unwrap();
+        assert!((t - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_transitions_accumulate() {
+        let mut c = MarkovChain::new(1);
+        c.add(0, MarkovChain::ABSORBING, 0.5).unwrap();
+        c.add(0, MarkovChain::ABSORBING, 0.5).unwrap();
+        assert!((c.absorption_time(0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_absorption_detected() {
+        // Two states cycling with no path to absorption.
+        let mut c = MarkovChain::new(2);
+        c.add(0, 1, 1.0).unwrap();
+        c.add(1, 0, 1.0).unwrap();
+        assert_eq!(c.absorption_time(0), Err(CtmcError::NotAbsorbing));
+    }
+
+    #[test]
+    fn partially_absorbing_chain_detected() {
+        // State 1 can only cycle to 2 and back; 0 can be absorbed.
+        let mut c = MarkovChain::new(3);
+        c.add(0, MarkovChain::ABSORBING, 1.0).unwrap();
+        c.add(1, 2, 1.0).unwrap();
+        c.add(2, 1, 1.0).unwrap();
+        assert!(c.absorption_time(1).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut c = MarkovChain::new(2);
+        assert_eq!(c.add(2, 0, 1.0), Err(CtmcError::BadState(2)));
+        assert_eq!(c.add(0, 5, 1.0), Err(CtmcError::BadState(5)));
+        assert_eq!(c.add(0, 0, 1.0), Err(CtmcError::SelfLoop(0)));
+        assert_eq!(c.add(0, 1, 0.0), Err(CtmcError::BadRate(0.0)));
+        assert!(matches!(c.add(0, 1, f64::NAN), Err(CtmcError::BadRate(r)) if r.is_nan()));
+        assert_eq!(c.absorption_time(9), Err(CtmcError::BadState(9)));
+    }
+
+    #[test]
+    fn repair_increases_survival() {
+        let (l, m) = (0.01, 1.0);
+        let mut no_repair = MarkovChain::new(2);
+        no_repair.add(0, 1, 2.0 * l).unwrap();
+        no_repair.add(1, MarkovChain::ABSORBING, l).unwrap();
+        let mut with_repair = no_repair.clone();
+        with_repair.add(1, 0, m).unwrap();
+        assert!(
+            with_repair.absorption_time(0).unwrap() > 10.0 * no_repair.absorption_time(0).unwrap()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_two_state_matches_formula(
+            a in 0.001f64..10.0,
+            c_rate in 0.001f64..10.0,
+            m in 0.0f64..100.0,
+        ) {
+            let mut c = MarkovChain::new(2);
+            c.add(0, 1, a).unwrap();
+            c.add(1, MarkovChain::ABSORBING, c_rate).unwrap();
+            if m > 0.0 {
+                c.add(1, 0, m).unwrap();
+            }
+            let t = c.absorption_time(0).unwrap();
+            let expect = (a + c_rate + m) / (a * c_rate);
+            prop_assert!((t - expect).abs() / expect < 1e-9);
+        }
+
+        #[test]
+        fn prop_faster_failure_shorter_life(scale in 1.1f64..10.0) {
+            let mut slow = MarkovChain::new(2);
+            slow.add(0, 1, 0.1).unwrap();
+            slow.add(1, MarkovChain::ABSORBING, 0.1).unwrap();
+            slow.add(1, 0, 1.0).unwrap();
+            let mut fast = MarkovChain::new(2);
+            fast.add(0, 1, 0.1 * scale).unwrap();
+            fast.add(1, MarkovChain::ABSORBING, 0.1 * scale).unwrap();
+            fast.add(1, 0, 1.0).unwrap();
+            prop_assert!(fast.absorption_time(0).unwrap() < slow.absorption_time(0).unwrap());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Monte-Carlo estimation of absorption times.
+//!
+//! An independent cross-check of the dense linear solver in
+//! [`ctmc`](crate::ctmc): simulate the chain's trajectories with
+//! exponential sojourns and average the time to absorption. Used in tests
+//! to validate the solver and available to users for chains too large or
+//! too awkward to solve exactly (e.g. when adding state-dependent hooks).
+
+use crate::ctmc::{CtmcError, MarkovChain};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a Monte-Carlo absorption-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Sample mean of the absorption time.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of simulated trajectories.
+    pub samples: u64,
+}
+
+impl McEstimate {
+    /// A symmetric ~95 % confidence interval around the mean.
+    pub fn confidence_95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error;
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Estimates the expected absorption time from `from` over `samples`
+/// simulated trajectories.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::BadState`] for an out-of-range start and
+/// [`CtmcError::NotAbsorbing`] if a trajectory reaches a state with no
+/// outgoing transitions (absorption would be unreachable).
+///
+/// # Example
+///
+/// ```
+/// use rolo_reliability::{MarkovChain, monte_carlo};
+///
+/// let mut c = MarkovChain::new(1);
+/// c.add(0, MarkovChain::ABSORBING, 0.5)?;
+/// let est = monte_carlo::absorption_time_mc(&c, 0, 20_000, 7)?;
+/// // True mean is 2.0.
+/// let (lo, hi) = est.confidence_95();
+/// assert!(lo < 2.0 && 2.0 < hi);
+/// # Ok::<(), rolo_reliability::CtmcError>(())
+/// ```
+pub fn absorption_time_mc(
+    chain: &MarkovChain,
+    from: usize,
+    samples: u64,
+    seed: u64,
+) -> Result<McEstimate, CtmcError> {
+    if from >= chain.states() {
+        return Err(CtmcError::BadState(from));
+    }
+    assert!(samples > 0, "need at least one sample");
+    // Pre-index transitions per state.
+    let mut per_state: Vec<Vec<(usize, f64)>> = vec![Vec::new(); chain.states()];
+    for &(s, t, r) in chain.transitions() {
+        per_state[s].push((t, r));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..samples {
+        let mut state = from;
+        let mut t = 0.0f64;
+        loop {
+            let outs = &per_state[state];
+            if outs.is_empty() {
+                return Err(CtmcError::NotAbsorbing);
+            }
+            let total: f64 = outs.iter().map(|(_, r)| r).sum();
+            // Exponential sojourn.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / total;
+            // Pick the transition proportionally to its rate.
+            let mut pick = rng.gen_range(0.0..total);
+            let mut next = outs[outs.len() - 1].0;
+            for &(to, r) in outs {
+                if pick < r {
+                    next = to;
+                    break;
+                }
+                pick -= r;
+            }
+            if next == MarkovChain::ABSORBING {
+                break;
+            }
+            state = next;
+        }
+        sum += t;
+        sum_sq += t * t;
+    }
+    let n = samples as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    Ok(McEstimate {
+        mean,
+        std_error: (var / n).sqrt(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{closed_form, models};
+
+    #[test]
+    fn matches_exponential_mean() {
+        let mut c = MarkovChain::new(1);
+        c.add(0, MarkovChain::ABSORBING, 2.0).unwrap();
+        let est = absorption_time_mc(&c, 0, 50_000, 1).unwrap();
+        assert!((est.mean - 0.5).abs() < 0.02, "{est:?}");
+        assert!(est.std_error < 0.01);
+    }
+
+    #[test]
+    fn validates_solver_on_rolo_e() {
+        // Scale rates so trajectories stay short: with λ = 0.01, µ = 0.5
+        // the repair loop is visited ~µ/λ times.
+        let (l, m) = (0.01, 0.5);
+        let chain = models::rolo_e_4(l, m).unwrap();
+        let exact = chain.absorption_time(0).unwrap();
+        let est = absorption_time_mc(&chain, 0, 20_000, 42).unwrap();
+        let (lo, hi) = est.confidence_95();
+        assert!(
+            lo < exact && exact < hi,
+            "exact {exact} outside MC CI [{lo}, {hi}]"
+        );
+        // And both agree with Eq. (5).
+        let eq5 = closed_form::rolo_e_4(l, m);
+        assert!((exact - eq5).abs() / eq5 < 1e-9);
+    }
+
+    #[test]
+    fn validates_solver_on_raid10_model() {
+        let (l, m) = (0.02, 0.4);
+        let chain = models::raid10_4(l, m).unwrap();
+        let exact = chain.absorption_time(0).unwrap();
+        let est = absorption_time_mc(&chain, 0, 20_000, 43).unwrap();
+        let (lo, hi) = est.confidence_95();
+        assert!(lo < exact && exact < hi, "exact {exact} CI [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn error_on_dead_end() {
+        let mut c = MarkovChain::new(2);
+        c.add(0, 1, 1.0).unwrap();
+        // State 1 has no outgoing transitions.
+        assert_eq!(
+            absorption_time_mc(&c, 0, 10, 1),
+            Err(CtmcError::NotAbsorbing)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut c = MarkovChain::new(1);
+        c.add(0, MarkovChain::ABSORBING, 1.0).unwrap();
+        let a = absorption_time_mc(&c, 0, 1000, 9).unwrap();
+        let b = absorption_time_mc(&c, 0, 1000, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

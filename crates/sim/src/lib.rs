@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Discrete-event simulation engine for the RoLo storage simulator.
+//!
+//! This crate provides the substrate that the disk model, RAID layer and
+//! logging controllers are built on: a microsecond-resolution simulated
+//! clock ([`SimTime`], [`Duration`]), a deterministic event queue
+//! ([`EventQueue`]), and seeded random-number plumbing ([`rng`]).
+//!
+//! The engine is deliberately *not* generic over an event trait object
+//! dispatch framework; higher layers drive their own state machines and use
+//! the queue as an ordered timeline of opaque tokens. This keeps the hot
+//! path monomorphic and the ownership story simple (no `Rc<RefCell<..>>`
+//! webs), which matters when replaying multi-million-request traces.
+//!
+//! # Example
+//!
+//! ```
+//! use rolo_sim::{EventQueue, SimTime, Duration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + Duration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO, "now");
+//! assert_eq!(q.pop().map(|e| e.payload), Some("now"));
+//! assert_eq!(q.pop().map(|e| e.payload), Some("later"));
+//! assert!(q.pop().is_none());
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};

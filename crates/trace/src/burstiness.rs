@@ -1,0 +1,161 @@
+//! Burstiness measurement — the quantitative backing for Table V's
+//! qualitative "Very Low" … "Very High" labels.
+//!
+//! Two standard measures over the arrival process:
+//!
+//! * the **index of dispersion for counts** (IDC): the variance-to-mean
+//!   ratio of per-window arrival counts (1 for Poisson, ≫ 1 for bursty);
+//! * the **squared coefficient of variation** (CV²) of inter-arrival
+//!   times (1 for Poisson).
+
+use crate::record::TraceRecord;
+use rolo_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Burstiness measures of an arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Burstiness {
+    /// Variance/mean of per-window arrival counts.
+    pub index_of_dispersion: f64,
+    /// Squared coefficient of variation of inter-arrival gaps.
+    pub cv2_interarrival: f64,
+    /// Number of analysis windows used.
+    pub windows: usize,
+}
+
+impl Burstiness {
+    /// Maps the index of dispersion onto the paper's Table V wording.
+    pub fn classify(&self) -> &'static str {
+        match self.index_of_dispersion {
+            x if x < 2.0 => "Very Low",
+            x if x < 10.0 => "Low",
+            x if x < 50.0 => "High",
+            _ => "Very High",
+        }
+    }
+}
+
+/// Measures burstiness over `records` with the given counting window.
+///
+/// Returns `None` when there are fewer than two records or fewer than two
+/// windows (nothing meaningful to measure).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+///
+/// # Example
+///
+/// ```
+/// use rolo_trace::{burstiness, profiles};
+/// use rolo_sim::Duration;
+///
+/// let recs: Vec<_> = profiles::src2_2()
+///     .generator(Duration::from_secs(40_000), 3)
+///     .collect();
+/// let b = burstiness::measure(&recs, Duration::from_secs(60)).unwrap();
+/// assert!(b.index_of_dispersion > 10.0, "src2_2 is strongly bursty");
+/// ```
+pub fn measure(records: &[TraceRecord], window: Duration) -> Option<Burstiness> {
+    assert!(!window.is_zero(), "zero analysis window");
+    if records.len() < 2 {
+        return None;
+    }
+    let span = records.last()?.arrival.since(records.first()?.arrival);
+    let nwin = (span.as_micros() / window.as_micros()) as usize + 1;
+    if nwin < 2 {
+        return None;
+    }
+    let base = records.first()?.arrival;
+    let mut counts = vec![0f64; nwin];
+    for r in records {
+        let w = (r.arrival.since(base).as_micros() / window.as_micros()) as usize;
+        counts[w.min(nwin - 1)] += 1.0;
+    }
+    let mean = counts.iter().sum::<f64>() / nwin as f64;
+    let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / nwin as f64;
+    let idc = if mean > 0.0 { var / mean } else { 0.0 };
+
+    let gaps: Vec<f64> = records
+        .windows(2)
+        .map(|w| w[1].arrival.since(w[0].arrival).as_secs_f64())
+        .collect();
+    let gmean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let gvar = gaps.iter().map(|g| (g - gmean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    let cv2 = if gmean > 0.0 { gvar / (gmean * gmean) } else { 0.0 };
+
+    Some(Burstiness {
+        index_of_dispersion: idc,
+        cv2_interarrival: cv2,
+        windows: nwin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ReqKind;
+    use crate::synth::{self, SizeDist, SyntheticConfig};
+    use rolo_sim::SimTime;
+
+    fn smooth_cfg(iops: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            iops,
+            write_ratio: 1.0,
+            read_size: SizeDist::Fixed(4096),
+            write_size: SizeDist::Fixed(4096),
+            sequential_fraction: 0.0,
+            write_footprint: 1 << 30,
+            read_footprint: 1 << 30,
+            read_hot_fraction: 0.5,
+            hot_set_bytes: 1 << 20,
+            burstiness: synth::Burstiness::Smooth,
+            batch_mean: 1.0,
+            align: 4096,
+        }
+    }
+
+    #[test]
+    fn poisson_has_unit_dispersion() {
+        let recs: Vec<_> = smooth_cfg(20.0)
+            .generator(Duration::from_secs(4000), 1)
+            .collect();
+        let b = measure(&recs, Duration::from_secs(10)).unwrap();
+        assert!((b.index_of_dispersion - 1.0).abs() < 0.3, "{b:?}");
+        assert!((b.cv2_interarrival - 1.0).abs() < 0.3, "{b:?}");
+        assert_eq!(b.classify(), "Very Low");
+    }
+
+    #[test]
+    fn onoff_process_is_overdispersed() {
+        let mut cfg = smooth_cfg(20.0);
+        cfg.burstiness = synth::Burstiness::Bursty {
+            on_fraction: 0.05,
+            mean_on_secs: 30.0,
+        };
+        let recs: Vec<_> = cfg.generator(Duration::from_secs(20_000), 2).collect();
+        let b = measure(&recs, Duration::from_secs(10)).unwrap();
+        assert!(b.index_of_dispersion > 20.0, "{b:?}");
+        assert!(matches!(b.classify(), "High" | "Very High"));
+    }
+
+    #[test]
+    fn table_v_ordering_src2_2_vs_proj_0() {
+        let dur = Duration::from_secs(100_000);
+        let s: Vec<_> = crate::profiles::src2_2().generator(dur, 3).collect();
+        let p: Vec<_> = crate::profiles::proj_0().generator(dur, 3).collect();
+        let bs = measure(&s, Duration::from_secs(60)).unwrap();
+        let bp = measure(&p, Duration::from_secs(60)).unwrap();
+        assert!(
+            bs.index_of_dispersion > 3.0 * bp.index_of_dispersion,
+            "src2_2 {bs:?} must dwarf proj_0 {bp:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(measure(&[], Duration::from_secs(1)).is_none());
+        let one = vec![TraceRecord::new(SimTime::ZERO, ReqKind::Read, 0, 4096)];
+        assert!(measure(&one, Duration::from_secs(1)).is_none());
+    }
+}

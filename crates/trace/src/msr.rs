@@ -1,0 +1,228 @@
+//! Parser for the MSR Cambridge block-trace CSV format.
+//!
+//! The MSR Cambridge traces (Narayanan et al., FAST'08 — the traces used
+//! by the paper) are CSV lines of the form:
+//!
+//! ```text
+//! Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//! 128166372003061629,src2,2,Write,805306368,4096,1331
+//! ```
+//!
+//! `Timestamp` is a Windows FILETIME (100 ns ticks since 1601-01-01);
+//! `Offset`/`Size` are bytes; `ResponseTime` (ignored here) is in 100 ns
+//! units. Arrival times are normalised so the first record is at time 0.
+
+use crate::record::{ReqKind, TraceRecord};
+use rolo_sim::SimTime;
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
+
+/// Error from parsing an MSR-format trace.
+#[derive(Debug)]
+pub enum MsrParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a reason.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MsrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsrParseError::Io(e) => write!(f, "trace read failed: {e}"),
+            MsrParseError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MsrParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MsrParseError::Io(e) => Some(e),
+            MsrParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MsrParseError {
+    fn from(e: std::io::Error) -> Self {
+        MsrParseError::Io(e)
+    }
+}
+
+/// Parses an MSR Cambridge trace from a reader.
+///
+/// Records are returned in file order with arrivals normalised to start at
+/// zero. A leading header line (starting with a non-digit) is skipped.
+/// Offsets are taken modulo `volume_capacity` if `Some` (the paper replays
+/// per-volume traces onto differently sized arrays), otherwise kept raw.
+///
+/// # Errors
+///
+/// Returns [`MsrParseError`] on I/O failure or any malformed data line.
+///
+/// # Example
+///
+/// ```
+/// use rolo_trace::parse_msr_csv;
+/// let csv = "128166372003061629,src2,2,Write,4096,8192,1331\n\
+///            128166372013061629,src2,2,Read,0,4096,900\n";
+/// let recs = parse_msr_csv(csv.as_bytes(), None)?;
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[0].arrival.as_micros(), 0);
+/// assert_eq!(recs[1].arrival.as_micros(), 1_000_000); // 10^7 ticks = 1 s
+/// # Ok::<(), rolo_trace::MsrParseError>(())
+/// ```
+pub fn parse_msr_csv<R: BufRead>(
+    reader: R,
+    volume_capacity: Option<u64>,
+) -> Result<Vec<TraceRecord>, MsrParseError> {
+    let mut out = Vec::new();
+    let mut first_ts: Option<u64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Skip a header row.
+        if idx == 0 && !line.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let rec = parse_line(line, idx + 1)?;
+        let base = *first_ts.get_or_insert(rec.0);
+        let ticks = rec.0.checked_sub(base).ok_or(MsrParseError::Malformed {
+            line: idx + 1,
+            reason: "timestamp goes backwards past the first record".into(),
+        })?;
+        let offset = match volume_capacity {
+            Some(cap) if cap > rec.3 => (rec.2 % (cap - rec.3)).min(cap - rec.3),
+            Some(_) => 0,
+            None => rec.2,
+        };
+        out.push(TraceRecord {
+            // 100 ns ticks → µs.
+            arrival: SimTime::from_micros(ticks / 10),
+            kind: rec.1,
+            offset,
+            bytes: rec.3,
+        });
+    }
+    Ok(out)
+}
+
+/// (timestamp ticks, kind, offset, size)
+fn parse_line(line: &str, lineno: usize) -> Result<(u64, ReqKind, u64, u64), MsrParseError> {
+    let malformed = |reason: &str| MsrParseError::Malformed {
+        line: lineno,
+        reason: reason.to_owned(),
+    };
+    let mut fields = line.split(',');
+    let ts: u64 = fields
+        .next()
+        .ok_or_else(|| malformed("missing timestamp"))?
+        .trim()
+        .parse()
+        .map_err(|_| malformed("unparseable timestamp"))?;
+    let _host = fields.next().ok_or_else(|| malformed("missing hostname"))?;
+    let _disk = fields.next().ok_or_else(|| malformed("missing disk number"))?;
+    let kind = match fields
+        .next()
+        .ok_or_else(|| malformed("missing request type"))?
+        .trim()
+    {
+        t if t.eq_ignore_ascii_case("read") => ReqKind::Read,
+        t if t.eq_ignore_ascii_case("write") => ReqKind::Write,
+        other => {
+            return Err(malformed(&format!("unknown request type {other:?}")));
+        }
+    };
+    let offset: u64 = fields
+        .next()
+        .ok_or_else(|| malformed("missing offset"))?
+        .trim()
+        .parse()
+        .map_err(|_| malformed("unparseable offset"))?;
+    let size: u64 = fields
+        .next()
+        .ok_or_else(|| malformed("missing size"))?
+        .trim()
+        .parse()
+        .map_err(|_| malformed("unparseable size"))?;
+    if size == 0 {
+        return Err(malformed("zero-length request"));
+    }
+    Ok((ts, kind, offset, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+128166372003061629,src2,2,Write,805306368,4096,1331
+128166372003061639,src2,2,write,805310464,8192,1100
+128166372013061629,src2,2,Read,0,4096,900
+";
+
+    #[test]
+    fn parses_sample() {
+        let recs = parse_msr_csv(SAMPLE.as_bytes(), None).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].kind, ReqKind::Write);
+        assert_eq!(recs[0].offset, 805306368);
+        assert_eq!(recs[0].bytes, 4096);
+        assert_eq!(recs[0].arrival, SimTime::ZERO);
+        // Case-insensitive type.
+        assert_eq!(recs[1].kind, ReqKind::Write);
+        assert_eq!(recs[1].arrival.as_micros(), 1); // 10 ticks
+        assert_eq!(recs[2].kind, ReqKind::Read);
+        assert_eq!(recs[2].arrival.as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn skips_header() {
+        let csv = format!("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n{SAMPLE}");
+        let recs = parse_msr_csv(csv.as_bytes(), None).unwrap();
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn wraps_offsets_to_capacity() {
+        let recs = parse_msr_csv(SAMPLE.as_bytes(), Some(1 << 20)).unwrap();
+        for r in &recs {
+            assert!(r.end() <= 1 << 20, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        // A non-digit first line is treated as a header, but garbage on a
+        // later line is an error.
+        assert!(parse_msr_csv("header\nnot,a,trace".as_bytes(), None).is_err());
+        assert!(parse_msr_csv("1,h,0,Frobnicate,0,4096,1".as_bytes(), None).is_err());
+        assert!(parse_msr_csv("1,h,0,Read,0,0,1".as_bytes(), None).is_err());
+        assert!(parse_msr_csv("1,h,0,Read,xyz,4096,1".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let csv = "100,h,0,Read,0,4096,1\n50,h,0,Read,0,4096,1\n";
+        let err = parse_msr_csv(csv.as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("backwards"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let recs = parse_msr_csv("".as_bytes(), None).unwrap();
+        assert!(recs.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Calibrated profiles for the seven MSR Cambridge traces the paper uses.
+//!
+//! Each profile carries the characteristics the paper publishes (Tables
+//! III and VI) plus the qualitative attributes of Table V (burstiness
+//! class, read locality). Two of the published numbers require careful
+//! interpretation, and the paper's own Table I pins the interpretation
+//! down:
+//!
+//! * **"Write Capacity" is the total write *volume* of the week-long
+//!   trace.** With an 8 GB per-disk logger, RoLo rotates its logger once
+//!   per ~8 GB logged; Table I reports 4 rotations for src2_2 (33 GB) and
+//!   12 for proj_0 (99.3 GB) — exactly `volume / 8 GB`. Likewise GRAID's
+//!   spin counts match `volume / (0.8 × 16 GB)` destage cycles × 20
+//!   mirror disks.
+//! * **Table III's IOPS is therefore the *busy-interval* arrival rate**,
+//!   not the week-long mean (33 GB over a week is only ~56 KB/s, while
+//!   78.8 IOPS × 63.6 KB would be ~5 MB/s). We model this with an ON/OFF
+//!   arrival process whose ON-phase rate is the table IOPS and whose duty
+//!   cycle is derived so the long-run byte rate matches the write volume.
+//!   This is also what makes src2_2 "Very High" burstiness (duty ≈ 1 %)
+//!   versus proj_0 "Very Low" (duty ≈ 14 %), matching Table V.
+
+use crate::synth::{Burstiness, SizeDist, SyntheticConfig, SyntheticTrace};
+use rolo_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Seconds in the week-long MSR collection window.
+pub const WEEK_SECS: f64 = 7.0 * 24.0 * 3600.0;
+
+/// A calibrated description of one of the paper's traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Trace name as used in the paper (e.g. `"src2_2"`).
+    pub name: &'static str,
+    /// Fraction of requests that are writes (Table III/VI).
+    pub write_ratio: f64,
+    /// Busy-interval request arrival rate (Table III/VI "IOPS").
+    pub burst_iops: f64,
+    /// Mean request size over all requests (Table III/VI), bytes.
+    pub avg_req_bytes: u64,
+    /// Mean read request size (given for src2_2/proj_0 in §V-C), bytes.
+    pub read_req_bytes: u64,
+    /// Total bytes written over the one-week trace (Table III/VI "Write
+    /// Capacity").
+    pub week_write_volume: u64,
+    /// Burstiness class (Table V wording).
+    pub burstiness_class: &'static str,
+    /// Read-locality: achievable cache hit rate (Table V where given).
+    pub read_hot_fraction: f64,
+    /// Mean requests per back-to-back micro-batch during busy intervals.
+    pub batch_mean: f64,
+}
+
+impl TraceProfile {
+    /// Mean *write* request size implied by the overall and read means.
+    pub fn write_req_bytes(&self) -> u64 {
+        if self.write_ratio >= 1.0 {
+            return self.avg_req_bytes;
+        }
+        let r = 1.0 - self.write_ratio;
+        let w = (self.avg_req_bytes as f64 - r * self.read_req_bytes as f64) / self.write_ratio;
+        (w.max(4096.0)) as u64
+    }
+
+    /// Long-run average write bandwidth (bytes/s) of the original trace.
+    pub fn avg_write_bandwidth(&self) -> f64 {
+        self.week_write_volume as f64 / WEEK_SECS
+    }
+
+    /// Long-run average request rate implied by the write volume.
+    pub fn avg_iops(&self) -> f64 {
+        let per_write = self.write_ratio * self.write_req_bytes() as f64;
+        (self.avg_write_bandwidth() / per_write).min(self.burst_iops)
+    }
+
+    /// ON-phase duty cycle: average rate ÷ busy rate.
+    pub fn duty_cycle(&self) -> f64 {
+        (self.avg_iops() / self.burst_iops).clamp(0.0, 1.0)
+    }
+
+    /// Total bytes written over a run of `duration` (in expectation).
+    pub fn write_volume(&self, duration: Duration) -> u64 {
+        (self.avg_write_bandwidth() * duration.as_secs_f64()) as u64
+    }
+
+    /// Write footprint for a run of `duration`. The paper's volume figures
+    /// show little overwrite at week scale (Table I's rotation counts
+    /// equal volume ÷ logger size), so the footprint tracks the volume,
+    /// floored so short tests still exercise placement.
+    pub fn scaled_footprint(&self, duration: Duration) -> u64 {
+        self.write_volume(duration).max(64 << 20)
+    }
+
+    /// Builds the synthetic configuration for a run of `duration`.
+    pub fn config(&self, duration: Duration) -> SyntheticConfig {
+        let fp = self.scaled_footprint(duration);
+        let duty = self.duty_cycle();
+        let burstiness = if duty >= 0.85 {
+            Burstiness::Smooth
+        } else {
+            Burstiness::Bursty {
+                on_fraction: duty.max(1e-3),
+                mean_on_secs: 30.0,
+            }
+        };
+        SyntheticConfig {
+            iops: self.avg_iops(),
+            write_ratio: self.write_ratio,
+            read_size: SizeDist::Fixed(self.read_req_bytes),
+            write_size: SizeDist::Fixed(self.write_req_bytes()),
+            sequential_fraction: 0.3,
+            write_footprint: fp,
+            read_footprint: (fp * 2).max(256 << 20),
+            read_hot_fraction: self.read_hot_fraction,
+            // The hot set is deliberately tiny: the paper's hit rates
+            // (90.6 % over src2_2's ~2000 reads, with the cache wiped at
+            // every logger rotation) imply a popular set of only a
+            // handful of blocks that re-warms after a few accesses, not
+            // a broad working set.
+            hot_set_bytes: 1 << 20,
+            burstiness,
+            batch_mean: self.batch_mean,
+            align: 4096,
+        }
+    }
+
+    /// Convenience: the record iterator for a run of `duration`.
+    pub fn generator(&self, duration: Duration, seed: u64) -> SyntheticTrace {
+        self.config(duration).generator(duration, seed)
+    }
+}
+
+/// `src2_2` — source control; the most write-intensive trace
+/// (Table III: 99.62 % writes, 78.80 IOPS, 63.64 KB, 33 GB written;
+/// Table V: very high burstiness, 90.6 % read hit rate).
+pub fn src2_2() -> TraceProfile {
+    TraceProfile {
+        name: "src2_2",
+        write_ratio: 0.9962,
+        burst_iops: 78.80,
+        avg_req_bytes: (63.64 * 1024.0) as u64,
+        read_req_bytes: (68.08 * 1024.0) as u64,
+        week_write_volume: 33 << 30,
+        burstiness_class: "Very High",
+        read_hot_fraction: 0.9059,
+        batch_mean: 8.0,
+    }
+}
+
+/// `proj_0` — project directories (Table III: 94.90 % writes, 23.89 IOPS,
+/// 51.42 KB, 99.3 GB written; Table V: very low burstiness, 26.7 % hit
+/// rate).
+pub fn proj_0() -> TraceProfile {
+    TraceProfile {
+        name: "proj_0",
+        write_ratio: 0.9490,
+        burst_iops: 23.89,
+        avg_req_bytes: (51.42 * 1024.0) as u64,
+        read_req_bytes: (17.84 * 1024.0) as u64,
+        week_write_volume: (99.3 * f64::from(1 << 30)) as u64,
+        burstiness_class: "Very Low",
+        read_hot_fraction: 0.2667,
+        batch_mean: 2.0,
+    }
+}
+
+/// `mds_0` — media server (Table VI).
+pub fn mds_0() -> TraceProfile {
+    TraceProfile {
+        name: "mds_0",
+        write_ratio: 0.8811,
+        burst_iops: 2.00,
+        avg_req_bytes: (9.20 * 1024.0) as u64,
+        read_req_bytes: (9.20 * 1024.0) as u64,
+        week_write_volume: 7 << 30,
+        burstiness_class: "Low",
+        read_hot_fraction: 0.5,
+        batch_mean: 2.0,
+    }
+}
+
+/// `wdev_0` — test web server (Table VI).
+pub fn wdev_0() -> TraceProfile {
+    TraceProfile {
+        name: "wdev_0",
+        write_ratio: 0.7992,
+        burst_iops: 1.89,
+        avg_req_bytes: (9.08 * 1024.0) as u64,
+        read_req_bytes: (9.08 * 1024.0) as u64,
+        week_write_volume: (7.15 * f64::from(1 << 30)) as u64,
+        burstiness_class: "Low",
+        read_hot_fraction: 0.5,
+        batch_mean: 2.0,
+    }
+}
+
+/// `web_1` — web/SQL server (Table VI).
+pub fn web_1() -> TraceProfile {
+    TraceProfile {
+        name: "web_1",
+        write_ratio: 0.4589,
+        burst_iops: 0.27,
+        avg_req_bytes: (29.07 * 1024.0) as u64,
+        read_req_bytes: (29.07 * 1024.0) as u64,
+        week_write_volume: 664 << 20,
+        burstiness_class: "Low",
+        read_hot_fraction: 0.6,
+        batch_mean: 1.0,
+    }
+}
+
+/// `rsrch_2` — research projects (Table VI).
+pub fn rsrch_2() -> TraceProfile {
+    TraceProfile {
+        name: "rsrch_2",
+        write_ratio: 0.3431,
+        burst_iops: 0.35,
+        avg_req_bytes: (4.08 * 1024.0) as u64,
+        read_req_bytes: (4.08 * 1024.0) as u64,
+        week_write_volume: 295 << 20,
+        burstiness_class: "Low",
+        read_hot_fraction: 0.6,
+        batch_mean: 1.0,
+    }
+}
+
+/// `hm_1` — hardware monitoring (Table VI; the most read-intensive).
+pub fn hm_1() -> TraceProfile {
+    TraceProfile {
+        name: "hm_1",
+        write_ratio: 0.0466,
+        burst_iops: 1.02,
+        avg_req_bytes: (15.16 * 1024.0) as u64,
+        read_req_bytes: (15.16 * 1024.0) as u64,
+        week_write_volume: 553 << 20,
+        burstiness_class: "Low",
+        read_hot_fraction: 0.6,
+        batch_mean: 1.0,
+    }
+}
+
+/// All seven profiles, write-intensive first (paper order).
+pub fn all() -> Vec<TraceProfile> {
+    vec![
+        src2_2(),
+        proj_0(),
+        mds_0(),
+        wdev_0(),
+        web_1(),
+        rsrch_2(),
+        hm_1(),
+    ]
+}
+
+/// Looks a profile up by its paper name.
+pub fn by_name(name: &str) -> Option<TraceProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn table_iii_values_round_trip() {
+        let p = src2_2();
+        assert!((p.write_ratio - 0.9962).abs() < 1e-9);
+        assert!((p.burst_iops - 78.80).abs() < 1e-9);
+        let q = proj_0();
+        assert!((q.burst_iops - 23.89).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_size_consistent_with_overall_mean() {
+        for p in all() {
+            let mix = p.write_ratio * p.write_req_bytes() as f64
+                + (1.0 - p.write_ratio) * p.read_req_bytes as f64;
+            let err = (mix - p.avg_req_bytes as f64).abs() / p.avg_req_bytes as f64;
+            assert!(err < 0.05, "{}: mean mismatch {err}", p.name);
+        }
+    }
+
+    #[test]
+    fn table_i_rotation_arithmetic() {
+        // The calibration invariant: write volume ÷ 8 GB logger ≈ the
+        // paper's RoLo-P rotation counts (Table I: 4 and 12).
+        let rotations = |p: &TraceProfile| p.week_write_volume as f64 / (8u64 << 30) as f64;
+        assert!((rotations(&src2_2()) - 4.0).abs() < 0.5);
+        assert!((rotations(&proj_0()) - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn duty_cycles_match_burstiness_classes() {
+        // src2_2 "Very High" burstiness → tiny duty cycle; proj_0 "Very
+        // Low" → an order of magnitude larger.
+        let s = src2_2().duty_cycle();
+        let p = proj_0().duty_cycle();
+        assert!(s < 0.03, "src2_2 duty {s}");
+        assert!(p > 5.0 * s, "proj_0 duty {p} vs src2_2 {s}");
+    }
+
+    #[test]
+    fn avg_iops_far_below_burst_iops_for_bursty_traces() {
+        let p = src2_2();
+        assert!(p.avg_iops() < p.burst_iops / 10.0);
+    }
+
+    #[test]
+    fn footprint_scales_with_duration() {
+        let p = proj_0();
+        let short = p.scaled_footprint(Duration::from_secs(3600));
+        let long = p.scaled_footprint(Duration::from_secs(7200));
+        assert!(long > short);
+        assert!(short >= 64 << 20);
+    }
+
+    #[test]
+    fn generated_volume_matches_calibration() {
+        let p = proj_0();
+        let dur = Duration::from_secs(20_000);
+        let recs: Vec<_> = p.generator(dur, 17).collect();
+        let stats = TraceStats::from_records(&recs, dur);
+        let expect = p.write_volume(dur) as f64;
+        let err = (stats.bytes_written as f64 - expect).abs() / expect;
+        assert!(err < 0.2, "volume err {err}");
+        assert!(
+            (stats.write_ratio - p.write_ratio).abs() < 0.05,
+            "write ratio {}",
+            stats.write_ratio
+        );
+    }
+
+    #[test]
+    fn by_name_finds_all() {
+        for p in all() {
+            assert_eq!(by_name(p.name).unwrap(), p);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn src2_2_is_bursty_wdev_0_is_not() {
+        let d = Duration::from_secs(100);
+        assert!(matches!(
+            src2_2().config(d).burstiness,
+            Burstiness::Bursty { .. }
+        ));
+        // wdev_0's duty cycle is near 1: smooth arrivals.
+        assert!(matches!(wdev_0().config(d).burstiness, Burstiness::Smooth));
+    }
+}

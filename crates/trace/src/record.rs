@@ -1,0 +1,63 @@
+//! Trace record type shared by the parser and the generators.
+
+use rolo_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Read or write, as recorded in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl ReqKind {
+    /// True for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, ReqKind::Write)
+    }
+}
+
+/// One logical block-level request from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Arrival time relative to the start of the trace.
+    pub arrival: SimTime,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Logical byte offset within the volume.
+    pub offset: u64,
+    /// Request length in bytes.
+    pub bytes: u64,
+}
+
+impl TraceRecord {
+    /// Convenience constructor.
+    pub fn new(arrival: SimTime, kind: ReqKind, offset: u64, bytes: u64) -> Self {
+        TraceRecord {
+            arrival,
+            kind,
+            offset,
+            bytes,
+        }
+    }
+
+    /// The first byte past the end of the request.
+    pub fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_is_exclusive() {
+        let r = TraceRecord::new(SimTime::ZERO, ReqKind::Write, 100, 50);
+        assert_eq!(r.end(), 150);
+        assert!(r.kind.is_write());
+        assert!(!ReqKind::Read.is_write());
+    }
+}

@@ -1,0 +1,543 @@
+//! Calibrated synthetic workload generation.
+//!
+//! The generator produces a stream of [`TraceRecord`]s shaped by the
+//! aggregate characteristics the paper publishes for each MSR trace:
+//! arrival intensity (optionally bursty), read/write mix, request-size
+//! distributions, write footprint (the set of unique bytes ever written,
+//! which bounds destage volume), write sequentiality, and a hot/cold read
+//! locality model (which determines the RoLo-E cache hit rate the paper
+//! reports in Table V).
+
+use crate::record::{ReqKind, TraceRecord};
+use rolo_sim::{Duration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Request-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every request has the same size.
+    Fixed(u64),
+    /// Uniform over `[min, max]`, rounded to the alignment.
+    Uniform {
+        /// Smallest size (bytes).
+        min: u64,
+        /// Largest size (bytes).
+        max: u64,
+    },
+    /// Two-point mixture: `small` with probability `1 − p_large`, `large`
+    /// with probability `p_large`.
+    TwoPoint {
+        /// The common small size (bytes).
+        small: u64,
+        /// The occasional large size (bytes).
+        large: u64,
+        /// Probability of drawing `large`.
+        p_large: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draws a size, rounded to the nearest multiple of `align`
+    /// (minimum one `align` unit).
+    pub fn sample(&self, rng: &mut SimRng, align: u64) -> u64 {
+        let raw = match *self {
+            SizeDist::Fixed(b) => b,
+            SizeDist::Uniform { min, max } => {
+                assert!(min <= max, "uniform size dist with min > max");
+                min + rng.below(max - min + 1)
+            }
+            SizeDist::TwoPoint {
+                small,
+                large,
+                p_large,
+            } => {
+                if rng.chance(p_large) {
+                    large
+                } else {
+                    small
+                }
+            }
+        };
+        (((raw + align / 2) / align).max(1)) * align
+    }
+
+    /// Expected size in bytes (before alignment).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Fixed(b) => b as f64,
+            SizeDist::Uniform { min, max } => (min + max) as f64 / 2.0,
+            SizeDist::TwoPoint {
+                small,
+                large,
+                p_large,
+            } => small as f64 * (1.0 - p_large) + large as f64 * p_large,
+        }
+    }
+}
+
+/// Arrival-process shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Burstiness {
+    /// Poisson arrivals at the configured rate.
+    Smooth,
+    /// ON/OFF-modulated Poisson: arrivals only during ON phases, at rate
+    /// `iops / on_fraction` so the long-run average stays at `iops`.
+    Bursty {
+        /// Long-run fraction of time spent in the ON phase (0, 1].
+        on_fraction: f64,
+        /// Mean ON-phase length in seconds.
+        mean_on_secs: f64,
+    },
+}
+
+/// Configuration of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Long-run average arrival rate (requests per second).
+    pub iops: f64,
+    /// Fraction of requests that are writes, in `[0, 1]`.
+    pub write_ratio: f64,
+    /// Size distribution of reads.
+    pub read_size: SizeDist,
+    /// Size distribution of writes.
+    pub write_size: SizeDist,
+    /// Fraction of writes that continue sequentially from the previous
+    /// write (the paper's motivating workload uses 0.3 = "70 % random").
+    pub sequential_fraction: f64,
+    /// Unique bytes the write stream covers (destage volume bound).
+    pub write_footprint: u64,
+    /// Bytes of the cold read region.
+    pub read_footprint: u64,
+    /// Probability a read targets the hot set (≈ achievable cache hit
+    /// rate once the hot set is resident).
+    pub read_hot_fraction: f64,
+    /// Size of the hot read set in bytes (must fit the cache under test
+    /// for `read_hot_fraction` to approximate the hit rate).
+    pub hot_set_bytes: u64,
+    /// Arrival-process shape.
+    pub burstiness: Burstiness,
+    /// Mean arrivals per micro-batch (≥ 1). Requests inside a batch are
+    /// spaced ~1 ms apart, modelling the back-to-back bursts that drive
+    /// queueing delay in the paper's response-time figures. `1.0`
+    /// disables batching.
+    pub batch_mean: f64,
+    /// Offset/size alignment in bytes (typically 4096).
+    pub align: u64,
+}
+
+impl SyntheticConfig {
+    /// A 100 %-write, 70 %-random, 64 KB workload at the given intensity —
+    /// the workload used for the paper's motivation experiments (§II,
+    /// Figs. 2 and 3).
+    pub fn motivation_write_only(iops: f64) -> Self {
+        SyntheticConfig {
+            iops,
+            write_ratio: 1.0,
+            read_size: SizeDist::Fixed(64 * 1024),
+            write_size: SizeDist::Fixed(64 * 1024),
+            sequential_fraction: 0.3,
+            // Much larger than any logger under test, so the unique dirty
+            // volume tracks the logged volume and destage work scales
+            // linearly with logger capacity (the paper's flat Fig. 2c/d).
+            write_footprint: 96 << 30,
+            read_footprint: 96 << 30,
+            read_hot_fraction: 0.5,
+            hot_set_bytes: 1 << 30,
+            burstiness: Burstiness::Smooth,
+            batch_mean: 1.0,
+            align: 4096,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities, zero footprints or zero
+    /// alignment; generation would otherwise misbehave silently.
+    pub fn validate(&self) {
+        assert!(self.iops > 0.0, "iops must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.write_ratio),
+            "write_ratio out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.sequential_fraction),
+            "sequential_fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_hot_fraction),
+            "read_hot_fraction out of range"
+        );
+        assert!(self.align > 0, "alignment must be positive");
+        assert!(self.write_footprint >= self.align, "write footprint too small");
+        assert!(self.read_footprint >= self.align, "read footprint too small");
+        assert!(self.hot_set_bytes >= self.align, "hot set too small");
+        assert!(
+            self.batch_mean >= 1.0 && self.batch_mean.is_finite(),
+            "batch_mean must be >= 1"
+        );
+        if let Burstiness::Bursty {
+            on_fraction,
+            mean_on_secs,
+        } = self.burstiness
+        {
+            assert!(
+                on_fraction > 0.0 && on_fraction <= 1.0,
+                "on_fraction out of range"
+            );
+            assert!(mean_on_secs > 0.0, "mean_on_secs must be positive");
+        }
+    }
+
+    /// The volume capacity the workload addresses (max of the regions).
+    pub fn address_space(&self) -> u64 {
+        self.write_footprint
+            .max(self.read_footprint)
+            .max(self.hot_set_bytes)
+    }
+
+    /// Creates the record iterator for a run of the given length.
+    pub fn generator(&self, duration: Duration, seed: u64) -> SyntheticTrace {
+        SyntheticTrace::new(self.clone(), duration, seed)
+    }
+}
+
+/// Iterator producing a deterministic synthetic trace.
+///
+/// # Example
+///
+/// ```
+/// use rolo_trace::SyntheticConfig;
+/// use rolo_sim::Duration;
+///
+/// let cfg = SyntheticConfig::motivation_write_only(100.0);
+/// let records: Vec<_> = cfg.generator(Duration::from_secs(60), 7).collect();
+/// // ~6000 requests, all writes, all 64 KB.
+/// assert!((records.len() as f64 - 6000.0).abs() < 400.0);
+/// assert!(records.iter().all(|r| r.kind.is_write() && r.bytes == 64 * 1024));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    cfg: SyntheticConfig,
+    duration: Duration,
+    rng: SimRng,
+    clock_secs: f64,
+    /// End of the current ON phase (bursty mode only).
+    on_until_secs: f64,
+    write_cursor: u64,
+    /// Remaining requests in the current micro-batch.
+    batch_left: u32,
+}
+
+impl SyntheticTrace {
+    fn new(cfg: SyntheticConfig, duration: Duration, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = SimRng::seed_from(seed).fork("synthetic-trace");
+        let on_until_secs = match cfg.burstiness {
+            Burstiness::Smooth => f64::INFINITY,
+            Burstiness::Bursty { mean_on_secs, .. } => rng.exp(mean_on_secs),
+        };
+        let write_cursor = rng.below(cfg.write_footprint / cfg.align) * cfg.align;
+        SyntheticTrace {
+            cfg,
+            duration,
+            rng,
+            clock_secs: 0.0,
+            on_until_secs,
+            write_cursor,
+            batch_left: 0,
+        }
+    }
+
+    /// Advances the arrival clock by one inter-arrival gap, honouring the
+    /// ON/OFF modulation and micro-batching. Batched requests arrive 1 ms
+    /// apart; the underlying batch-start process is thinned by
+    /// `batch_mean` so the configured `iops` remains the long-run total.
+    fn next_arrival(&mut self) -> f64 {
+        if self.batch_left > 0 {
+            self.batch_left -= 1;
+            self.clock_secs += 0.001;
+            return self.clock_secs;
+        }
+        if self.cfg.batch_mean > 1.0 {
+            // Geometric batch size with the configured mean.
+            let p = 1.0 / self.cfg.batch_mean;
+            let u = self.rng.unit().max(f64::MIN_POSITIVE);
+            let k = (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u32;
+            self.batch_left = k - 1;
+        }
+        let process_rate = self.cfg.iops / self.cfg.batch_mean;
+        match self.cfg.burstiness {
+            Burstiness::Smooth => {
+                self.clock_secs += self.rng.exp(1.0 / process_rate);
+                self.clock_secs
+            }
+            Burstiness::Bursty {
+                on_fraction,
+                mean_on_secs,
+            } => {
+                let rate_on = process_rate / on_fraction;
+                let mean_off_secs = mean_on_secs * (1.0 - on_fraction) / on_fraction;
+                loop {
+                    let gap = self.rng.exp(1.0 / rate_on);
+                    if self.clock_secs + gap <= self.on_until_secs {
+                        self.clock_secs += gap;
+                        return self.clock_secs;
+                    }
+                    // Jump over the OFF phase into the next ON phase.
+                    let off = if mean_off_secs > 0.0 {
+                        self.rng.exp(mean_off_secs)
+                    } else {
+                        0.0
+                    };
+                    self.clock_secs = self.on_until_secs + off;
+                    self.on_until_secs = self.clock_secs + self.rng.exp(mean_on_secs);
+                }
+            }
+        }
+    }
+
+    fn place_write(&mut self, bytes: u64) -> u64 {
+        let fp = self.cfg.write_footprint;
+        let bytes = bytes.min(fp);
+        let offset = if self.rng.chance(self.cfg.sequential_fraction) {
+            self.write_cursor
+        } else {
+            self.rng.below((fp / self.cfg.align).max(1)) * self.cfg.align
+        };
+        let offset = if offset + bytes > fp { 0 } else { offset };
+        self.write_cursor = if offset + bytes >= fp { 0 } else { offset + bytes };
+        offset
+    }
+
+    fn place_read(&mut self, bytes: u64) -> u64 {
+        let (region, _hot) = if self.rng.chance(self.cfg.read_hot_fraction) {
+            (self.cfg.hot_set_bytes, true)
+        } else {
+            (self.cfg.read_footprint, false)
+        };
+        let region = region.max(self.cfg.align);
+        let bytes = bytes.min(region);
+        let offset = self.rng.below((region / self.cfg.align).max(1)) * self.cfg.align;
+        if offset + bytes > region {
+            region - bytes
+        } else {
+            offset
+        }
+    }
+}
+
+impl Iterator for SyntheticTrace {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let arrival_secs = self.next_arrival();
+        let arrival = SimTime::from_micros((arrival_secs * 1e6) as u64);
+        if arrival.since(SimTime::ZERO) >= self.duration {
+            return None;
+        }
+        let is_write = self.rng.chance(self.cfg.write_ratio);
+        let (kind, bytes, offset) = if is_write {
+            let bytes = self.cfg.write_size.sample(&mut self.rng, self.cfg.align);
+            let offset = self.place_write(bytes);
+            (ReqKind::Write, bytes.min(self.cfg.write_footprint), offset)
+        } else {
+            let bytes = self.cfg.read_size.sample(&mut self.rng, self.cfg.align);
+            let offset = self.place_read(bytes);
+            (ReqKind::Read, bytes.min(self.cfg.read_footprint), offset)
+        };
+        Some(TraceRecord {
+            arrival,
+            kind,
+            offset,
+            bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn base_cfg() -> SyntheticConfig {
+        SyntheticConfig {
+            iops: 50.0,
+            write_ratio: 0.8,
+            read_size: SizeDist::Fixed(16 * 1024),
+            write_size: SizeDist::Fixed(32 * 1024),
+            sequential_fraction: 0.3,
+            write_footprint: 1 << 30,
+            read_footprint: 2 << 30,
+            read_hot_fraction: 0.7,
+            hot_set_bytes: 64 << 20,
+            burstiness: Burstiness::Smooth,
+            batch_mean: 1.0,
+            align: 4096,
+        }
+    }
+
+    #[test]
+    fn batching_keeps_rate_but_clusters() {
+        let mut cfg = base_cfg();
+        cfg.batch_mean = 8.0;
+        let recs: Vec<_> = cfg.generator(Duration::from_secs(4000), 21).collect();
+        let rate = recs.len() as f64 / 4000.0;
+        assert!((rate - 50.0).abs() < 5.0, "rate {rate}");
+        // A large share of gaps are the 1 ms intra-batch spacing.
+        let close = recs
+            .windows(2)
+            .filter(|w| w[1].arrival.since(w[0].arrival) <= Duration::from_millis(1))
+            .count();
+        assert!(close as f64 / recs.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn rate_is_calibrated() {
+        let recs: Vec<_> = base_cfg()
+            .generator(Duration::from_secs(2000), 1)
+            .collect();
+        let rate = recs.len() as f64 / 2000.0;
+        assert!((rate - 50.0).abs() < 2.5, "rate {rate}");
+    }
+
+    #[test]
+    fn write_ratio_is_calibrated() {
+        let recs: Vec<_> = base_cfg()
+            .generator(Duration::from_secs(2000), 2)
+            .collect();
+        let writes = recs.iter().filter(|r| r.kind.is_write()).count();
+        let ratio = writes as f64 / recs.len() as f64;
+        assert!((ratio - 0.8).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bursty_preserves_average_rate() {
+        let mut cfg = base_cfg();
+        cfg.burstiness = Burstiness::Bursty {
+            on_fraction: 0.1,
+            mean_on_secs: 20.0,
+        };
+        let recs: Vec<_> = cfg.generator(Duration::from_secs(20_000), 3).collect();
+        let rate = recs.len() as f64 / 20_000.0;
+        assert!((rate - 50.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_has_higher_variance_than_smooth() {
+        let count_in_bins = |cfg: &SyntheticConfig, seed: u64| -> f64 {
+            let recs: Vec<_> = cfg.generator(Duration::from_secs(4000), seed).collect();
+            let mut bins = vec![0.0f64; 400];
+            for r in &recs {
+                let b = (r.arrival.as_secs_f64() / 10.0) as usize;
+                bins[b.min(399)] += 1.0;
+            }
+            let mean = bins.iter().sum::<f64>() / bins.len() as f64;
+            bins.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / bins.len() as f64
+        };
+        let smooth = base_cfg();
+        let mut bursty = base_cfg();
+        bursty.burstiness = Burstiness::Bursty {
+            on_fraction: 0.1,
+            mean_on_secs: 20.0,
+        };
+        assert!(
+            count_in_bins(&bursty, 4) > 3.0 * count_in_bins(&smooth, 4),
+            "bursty traffic should be much more variable"
+        );
+    }
+
+    #[test]
+    fn offsets_stay_in_footprint() {
+        let recs: Vec<_> = base_cfg()
+            .generator(Duration::from_secs(500), 5)
+            .collect();
+        for r in &recs {
+            if r.kind.is_write() {
+                assert!(r.end() <= 1 << 30, "{r:?}");
+            } else {
+                assert!(r.end() <= 2 << 30, "{r:?}");
+            }
+            assert_eq!(r.offset % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn sequential_fraction_produces_contiguous_writes() {
+        let mut cfg = base_cfg();
+        cfg.write_ratio = 1.0;
+        cfg.sequential_fraction = 1.0;
+        let recs: Vec<_> = cfg.generator(Duration::from_secs(100), 6).collect();
+        let contiguous = recs
+            .windows(2)
+            .filter(|w| w[1].offset == w[0].end())
+            .count();
+        // All writes chain sequentially (modulo footprint wrap).
+        assert!(contiguous as f64 / (recs.len() - 1) as f64 > 0.95);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = base_cfg().generator(Duration::from_secs(50), 9).collect();
+        let b: Vec<_> = base_cfg().generator(Duration::from_secs(50), 9).collect();
+        let c: Vec<_> = base_cfg().generator(Duration::from_secs(50), 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let recs: Vec<_> = base_cfg().generator(Duration::from_secs(300), 11).collect();
+        for w in recs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn size_dist_mean_and_alignment() {
+        let mut rng = SimRng::seed_from(12);
+        let d = SizeDist::TwoPoint {
+            small: 4096,
+            large: 65536,
+            p_large: 0.25,
+        };
+        assert!((d.mean() - (0.75 * 4096.0 + 0.25 * 65536.0)).abs() < 1e-9);
+        let n = 10_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng, 4096)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.05);
+        let u = SizeDist::Uniform {
+            min: 4096,
+            max: 131072,
+        };
+        for _ in 0..100 {
+            let s = u.sample(&mut rng, 4096);
+            assert_eq!(s % 4096, 0);
+            assert!(s >= 4096 && s <= 131072);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write_ratio out of range")]
+    fn validate_rejects_bad_ratio() {
+        let mut cfg = base_cfg();
+        cfg.write_ratio = 1.5;
+        cfg.validate();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_records_well_formed(seed in 0u64..1000, iops in 1.0f64..300.0) {
+            let mut cfg = base_cfg();
+            cfg.iops = iops;
+            for r in cfg.generator(Duration::from_secs(30), seed) {
+                prop_assert!(r.bytes > 0);
+                prop_assert_eq!(r.bytes % 4096, 0);
+                prop_assert!(r.arrival.as_secs_f64() < 30.0);
+                prop_assert!(r.end() <= cfg.address_space());
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Trace manipulation utilities: slicing, rate scaling, merging.
+//!
+//! Handy when working with real MSR traces (replay one busy hour, stress
+//! a scheme at 2× the recorded intensity, combine volumes) and used by
+//! the harness's what-if experiments.
+
+use crate::record::TraceRecord;
+use rolo_sim::{Duration, SimTime};
+
+/// Returns the records whose arrivals fall within `[start, start + len)`,
+/// re-based so the window starts at time zero.
+///
+/// # Example
+///
+/// ```
+/// use rolo_trace::{tools, ReqKind, TraceRecord};
+/// use rolo_sim::{Duration, SimTime};
+///
+/// let recs = vec![
+///     TraceRecord::new(SimTime::from_secs(1), ReqKind::Write, 0, 4096),
+///     TraceRecord::new(SimTime::from_secs(5), ReqKind::Write, 0, 4096),
+///     TraceRecord::new(SimTime::from_secs(9), ReqKind::Write, 0, 4096),
+/// ];
+/// let window = tools::slice(&recs, SimTime::from_secs(4), Duration::from_secs(4));
+/// assert_eq!(window.len(), 1);
+/// assert_eq!(window[0].arrival, SimTime::from_secs(1)); // 5 − 4
+/// ```
+pub fn slice(records: &[TraceRecord], start: SimTime, len: Duration) -> Vec<TraceRecord> {
+    let end = start + len;
+    records
+        .iter()
+        .filter(|r| r.arrival >= start && r.arrival < end)
+        .map(|r| TraceRecord {
+            arrival: SimTime::from_micros(r.arrival.as_micros() - start.as_micros()),
+            ..*r
+        })
+        .collect()
+}
+
+/// Scales the arrival rate by `factor` (> 1 compresses time: a 2× factor
+/// makes the same requests arrive twice as fast).
+///
+/// # Panics
+///
+/// Panics unless `factor` is finite and positive.
+pub fn scale_rate(records: &[TraceRecord], factor: f64) -> Vec<TraceRecord> {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "invalid rate factor {factor}"
+    );
+    records
+        .iter()
+        .map(|r| TraceRecord {
+            arrival: SimTime::from_micros((r.arrival.as_micros() as f64 / factor).round() as u64),
+            ..*r
+        })
+        .collect()
+}
+
+/// Merges multiple traces into one arrival-ordered stream, offsetting
+/// each input's addresses by `address_stride` per input index so volumes
+/// don't collide.
+///
+/// # Panics
+///
+/// Panics if any input is not sorted by arrival.
+pub fn merge(inputs: &[&[TraceRecord]], address_stride: u64) -> Vec<TraceRecord> {
+    let mut out: Vec<TraceRecord> = Vec::with_capacity(inputs.iter().map(|i| i.len()).sum());
+    for (idx, input) in inputs.iter().enumerate() {
+        assert!(
+            input.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "input {idx} is not sorted by arrival"
+        );
+        out.extend(input.iter().map(|r| TraceRecord {
+            offset: r.offset + address_stride * idx as u64,
+            ..*r
+        }));
+    }
+    out.sort_by_key(|r| r.arrival);
+    out
+}
+
+/// The busiest window of the trace: the start time of the `len`-long
+/// window containing the most arrivals (useful for extracting a
+/// representative burst). Returns `None` on an empty trace.
+pub fn busiest_window(records: &[TraceRecord], len: Duration) -> Option<SimTime> {
+    if records.is_empty() {
+        return None;
+    }
+    let mut best_start = records[0].arrival;
+    let mut best_count = 0usize;
+    let mut lo = 0usize;
+    for hi in 0..records.len() {
+        while records[hi].arrival.since(records[lo].arrival) >= len {
+            lo += 1;
+        }
+        let count = hi - lo + 1;
+        if count > best_count {
+            best_count = count;
+            best_start = records[lo].arrival;
+        }
+    }
+    Some(best_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ReqKind;
+
+    fn rec(secs: u64, offset: u64) -> TraceRecord {
+        TraceRecord::new(SimTime::from_secs(secs), ReqKind::Write, offset, 4096)
+    }
+
+    #[test]
+    fn slice_rebases_and_filters() {
+        let recs = vec![rec(1, 0), rec(5, 0), rec(9, 0)];
+        let w = slice(&recs, SimTime::from_secs(4), Duration::from_secs(10));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].arrival, SimTime::from_secs(1));
+        assert_eq!(w[1].arrival, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn slice_of_nothing_is_empty() {
+        let recs = vec![rec(1, 0)];
+        assert!(slice(&recs, SimTime::from_secs(100), Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn scale_compresses_time() {
+        let recs = vec![rec(2, 0), rec(10, 0)];
+        let fast = scale_rate(&recs, 2.0);
+        assert_eq!(fast[0].arrival, SimTime::from_secs(1));
+        assert_eq!(fast[1].arrival, SimTime::from_secs(5));
+        let slow = scale_rate(&recs, 0.5);
+        assert_eq!(slow[1].arrival, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn merge_interleaves_and_strides() {
+        let a = vec![rec(1, 100), rec(3, 200)];
+        let b = vec![rec(2, 100)];
+        let m = merge(&[&a, &b], 1 << 30);
+        assert_eq!(m.len(), 3);
+        assert!(m.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(m[1].offset, 100 + (1 << 30)); // from input 1
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn merge_rejects_unsorted() {
+        let bad = vec![rec(5, 0), rec(1, 0)];
+        merge(&[&bad], 0);
+    }
+
+    #[test]
+    fn busiest_window_finds_the_burst() {
+        let mut recs: Vec<TraceRecord> = (0..10).map(|i| rec(i * 10, 0)).collect();
+        // A burst of 5 requests around t=41..45.
+        for s in 41..=45 {
+            recs.push(rec(s, 0));
+        }
+        recs.sort_by_key(|r| r.arrival);
+        let start = busiest_window(&recs, Duration::from_secs(10)).unwrap();
+        assert!(start >= SimTime::from_secs(36) && start <= SimTime::from_secs(45));
+        assert!(busiest_window(&[], Duration::from_secs(1)).is_none());
+    }
+}
