@@ -54,35 +54,62 @@ type Variant = (&'static str, Box<dyn FnOnce(&mut SimConfig) + Send>);
 
 fn main() {
     let variants: Vec<Variant> = vec![
-        ("baseline (10ms guard, eager, 64K chunks)", Box::new(|_: &mut SimConfig| {})),
-        ("no idle guard (0ms)", Box::new(|c: &mut SimConfig| {
-            c.bg_idle_guard = Duration::ZERO;
-        })),
-        ("wide idle guard (50ms)", Box::new(|c: &mut SimConfig| {
-            c.bg_idle_guard = Duration::from_millis(50);
-        })),
-        ("no eager spin-up", Box::new(|c: &mut SimConfig| {
-            c.eager_spinup = false;
-        })),
-        ("tiny destage chunks (4K)", Box::new(|c: &mut SimConfig| {
-            c.destage_chunk = 4 * 1024;
-        })),
-        ("large destage chunks (512K)", Box::new(|c: &mut SimConfig| {
-            c.destage_chunk = 512 * 1024;
-        })),
-        ("two on-duty loggers", Box::new(|c: &mut SimConfig| {
-            c.rolo_on_duty = 2;
-        })),
-        ("SSTF disk scheduling", Box::new(|c: &mut SimConfig| {
-            c.scheduler = rolo_disk::SchedulerKind::Sstf;
-        })),
+        (
+            "baseline (10ms guard, eager, 64K chunks)",
+            Box::new(|_: &mut SimConfig| {}),
+        ),
+        (
+            "no idle guard (0ms)",
+            Box::new(|c: &mut SimConfig| {
+                c.bg_idle_guard = Duration::ZERO;
+            }),
+        ),
+        (
+            "wide idle guard (50ms)",
+            Box::new(|c: &mut SimConfig| {
+                c.bg_idle_guard = Duration::from_millis(50);
+            }),
+        ),
+        (
+            "no eager spin-up",
+            Box::new(|c: &mut SimConfig| {
+                c.eager_spinup = false;
+            }),
+        ),
+        (
+            "tiny destage chunks (4K)",
+            Box::new(|c: &mut SimConfig| {
+                c.destage_chunk = 4 * 1024;
+            }),
+        ),
+        (
+            "large destage chunks (512K)",
+            Box::new(|c: &mut SimConfig| {
+                c.destage_chunk = 512 * 1024;
+            }),
+        ),
+        (
+            "two on-duty loggers",
+            Box::new(|c: &mut SimConfig| {
+                c.rolo_on_duty = 2;
+            }),
+        ),
+        (
+            "SSTF disk scheduling",
+            Box::new(|c: &mut SimConfig| {
+                c.scheduler = rolo_disk::SchedulerKind::Sstf;
+            }),
+        ),
     ];
     let rows: Vec<Row> = variants
         .into_iter()
         .map(|(label, f)| run(label, f))
         .collect();
 
-    println!("RoLo-P design ablations under src2_2 ({} h)", rolo_bench::week_secs() / 3600);
+    println!(
+        "RoLo-P design ablations under src2_2 ({} h)",
+        rolo_bench::week_secs() / 3600
+    );
     println!(
         "{:<42} {:>10} {:>10} {:>11} {:>6} {:>9} {:>7}",
         "variant", "mean resp", "p99", "energy", "rots", "destaged", "deact"
@@ -102,7 +129,11 @@ fn main() {
     let base = rows[0].mean_response_ms;
     println!("\nresponse-time deltas vs baseline:");
     for r in rows.iter().skip(1) {
-        println!("  {:<42} {:+.1} %", r.variant, (r.mean_response_ms / base - 1.0) * 100.0);
+        println!(
+            "  {:<42} {:+.1} %",
+            r.variant,
+            (r.mean_response_ms / base - 1.0) * 100.0
+        );
     }
     write_results("ablation", &rows);
 }

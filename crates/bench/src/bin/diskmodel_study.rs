@@ -42,8 +42,8 @@ fn main() {
         let mut cfg = SimConfig::paper_default(scheme, 20);
         // Hold the free-space *ratio* at the Ultrastar default.
         let ratio = (8u64 << 30) as f64 / DiskParams::ultrastar_36z15().capacity_bytes as f64;
-        cfg.logger_region = ((model.capacity_bytes as f64 * ratio) as u64 / cfg.stripe_unit)
-            * cfg.stripe_unit;
+        cfg.logger_region =
+            ((model.capacity_bytes as f64 * ratio) as u64 / cfg.stripe_unit) * cfg.stripe_unit;
         cfg.graid_log_capacity = cfg.logger_region * 2;
         cfg.disk = model.clone();
         let r = run_profile(&cfg, &profile, 0xd15c2);

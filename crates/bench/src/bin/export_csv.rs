@@ -55,7 +55,7 @@ fn convert(path: &Path, out_dir: &Path) -> Result<PathBuf, String> {
     for r in &rows {
         let line: Vec<String> = keys
             .iter()
-            .map(|k| r.get(*k).map(csv_escape).unwrap_or_default())
+            .map(|k| r.get(k).map(csv_escape).unwrap_or_default())
             .collect();
         out.push_str(&line.join(","));
         out.push('\n');

@@ -57,7 +57,9 @@ fn main() {
             for pairs in sizes {
                 let row = results
                     .iter()
-                    .find(|r| r.trace == trace && r.scheme == scheme.to_string() && r.disks == pairs * 2)
+                    .find(|r| {
+                        r.trace == trace && r.scheme == scheme.to_string() && r.disks == pairs * 2
+                    })
                     .expect("run present");
                 line += &format!(" {:>9.2}", row.mean_response_ms);
             }

@@ -82,7 +82,10 @@ fn main() {
                     .iter()
                     .find(|r| r.trace == trace && r.scheme == "RoLo-P" && r.free_gib == f)
                     .unwrap();
-                format!("{}GB {:.2}ms ({} rotations)", f, row.mean_response_ms, row.rotations)
+                format!(
+                    "{}GB {:.2}ms ({} rotations)",
+                    f, row.mean_response_ms, row.rotations
+                )
             })
             .collect();
         println!("  {trace}: {}", resp.join(", "));

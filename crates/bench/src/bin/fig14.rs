@@ -66,7 +66,9 @@ fn main() {
         println!("{line}");
     }
 
-    println!("\n=== Figure 14(b): mean response time normalised to RAID10 (log scale in paper) ===");
+    println!(
+        "\n=== Figure 14(b): mean response time normalised to RAID10 (log scale in paper) ==="
+    );
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "trace", "RAID10", "GRAID", "RoLo-P", "RoLo-R", "RoLo-E"

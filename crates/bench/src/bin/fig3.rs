@@ -33,8 +33,7 @@ fn main() {
         let frac = |r: &rolo_disk::DiskEnergyReport| {
             let total = r.total_time().as_secs_f64();
             let idle = r.idle.as_secs_f64() / total;
-            let act_stby =
-                (r.active.as_secs_f64() + r.standby.as_secs_f64()) / total;
+            let act_stby = (r.active.as_secs_f64() + r.standby.as_secs_f64()) / total;
             (idle, act_stby)
         };
         // Primaries are disks 0..10; the log disk is the last.

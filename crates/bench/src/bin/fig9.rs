@@ -55,7 +55,12 @@ fn main() {
         };
         println!(
             "{:>5} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            d, row.rolo_r_years, row.raid10_years, row.rolo_p_years, row.graid_years, row.rolo_e_years
+            d,
+            row.rolo_r_years,
+            row.raid10_years,
+            row.rolo_p_years,
+            row.graid_years,
+            row.rolo_e_years
         );
         rows.push(row);
     }

@@ -80,7 +80,12 @@ fn main() {
         let geo = Raid5Geometry::new(cfg.disk_count(), cfg.stripe_unit, cfg.data_region());
         let wl = workload(iops);
         let mut out = Vec::new();
-        let raid5 = run_trace(&cfg, wl.generator(dur, 55), Raid5Policy::new(geo.clone()), dur);
+        let raid5 = run_trace(
+            &cfg,
+            wl.generator(dur, 55),
+            Raid5Policy::new(geo.clone()),
+            dur,
+        );
         expect_consistent(&raid5, "raid5");
         out.push(summarize("RAID5", iops, &raid5));
         for k in [1usize, 2, 4] {
@@ -113,7 +118,9 @@ fn main() {
     });
     let rows: Vec<Row> = rows.into_iter().flatten().collect();
 
-    println!("§VII study: parity-based RoLo on a 20-disk RAID5 array (20 min, 100 % writes, 16 KB)\n");
+    println!(
+        "§VII study: parity-based RoLo on a 20-disk RAID5 array (20 min, 100 % writes, 16 KB)\n"
+    );
     println!(
         "{:<14} {:>6} {:>12} {:>11} {:>12} {:>6} {:>6}",
         "scheme", "iops", "mean write", "p99", "disk-active", "rots", "deact"
@@ -121,13 +128,22 @@ fn main() {
     for r in &rows {
         println!(
             "{:<14} {:>6} {:>10.2}ms {:>9.1}ms {:>11.2}h {:>6} {:>6}",
-            r.scheme, r.iops, r.mean_write_ms, r.p99_write_ms, r.active_disk_hours, r.rotations, r.deactivations
+            r.scheme,
+            r.iops,
+            r.mean_write_ms,
+            r.p99_write_ms,
+            r.active_disk_hours,
+            r.rotations,
+            r.deactivations
         );
     }
 
     println!("\nfindings:");
     for &iops in &loads {
-        let raid5 = rows.iter().find(|r| r.scheme == "RAID5" && r.iops == iops).unwrap();
+        let raid5 = rows
+            .iter()
+            .find(|r| r.scheme == "RAID5" && r.iops == iops)
+            .unwrap();
         let best = rows
             .iter()
             .filter(|r| r.scheme != "RAID5" && !r.scheme.contains("NVRAM") && r.iops == iops)
@@ -142,8 +158,14 @@ fn main() {
     }
     println!("\nwith NVRAM append staging (Parity Logging's fix):");
     for &iops in &loads {
-        let raid5 = rows.iter().find(|r| r.scheme == "RAID5" && r.iops == iops).unwrap();
-        let nv = rows.iter().find(|r| r.scheme == "RoLo-5+NVRAM" && r.iops == iops).unwrap();
+        let raid5 = rows
+            .iter()
+            .find(|r| r.scheme == "RAID5" && r.iops == iops)
+            .unwrap();
+        let nv = rows
+            .iter()
+            .find(|r| r.scheme == "RoLo-5+NVRAM" && r.iops == iops)
+            .unwrap();
         println!(
             "  {iops} IOPS: latency {:+.1} %, media-time {:+.1} % vs RAID5",
             (nv.mean_write_ms / raid5.mean_write_ms - 1.0) * 100.0,

@@ -50,7 +50,10 @@ fn main() {
     });
 
     let mut rows = Vec::new();
-    println!("run-to-run variance over {} seeds (one week, 40 disks)\n", seeds.len());
+    println!(
+        "run-to-run variance over {} seeds (one week, 40 disks)\n",
+        seeds.len()
+    );
     println!(
         "{:<8} {:<8} {:>18} {:>18}",
         "trace", "scheme", "energy (MJ)", "mean resp (ms)"

@@ -16,8 +16,9 @@ fn main() {
         Some("rolo-e") => Scheme::RoloE,
         _ => Scheme::RoloP,
     };
-    let profile = rolo_trace::profiles::by_name(args.get(2).map(String::as_str).unwrap_or("src2_2"))
-        .expect("unknown trace profile");
+    let profile =
+        rolo_trace::profiles::by_name(args.get(2).map(String::as_str).unwrap_or("src2_2"))
+            .expect("unknown trace profile");
     let hours: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
 
     let mut cfg = SimConfig::paper_default(scheme, 20);
@@ -32,17 +33,32 @@ fn main() {
     println!("scheme          : {}", report.scheme);
     println!("trace           : {} for {hours} h", profile.name);
     println!("requests        : {}", report.user_requests);
-    println!("energy          : {}", rolo_bench::mj(report.total_energy_j));
+    println!(
+        "energy          : {}",
+        rolo_bench::mj(report.total_energy_j)
+    );
     println!("mean response   : {:.2} ms", report.mean_response_ms());
     println!("spin cycles     : {}", report.spin_cycles);
     println!("rotations       : {}", report.policy.rotations);
     println!("destage cycles  : {}", report.policy.destage_cycles);
-    println!("destaged        : {:.2} GiB", report.policy.destaged_bytes as f64 / (1u64 << 30) as f64);
-    println!("logged          : {:.2} GiB", report.policy.log_appended_bytes as f64 / (1u64 << 30) as f64);
-    println!("cache hit rate  : {:.2} %", report.policy.cache_hit_rate() * 100.0);
+    println!(
+        "destaged        : {:.2} GiB",
+        report.policy.destaged_bytes as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "logged          : {:.2} GiB",
+        report.policy.log_appended_bytes as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "cache hit rate  : {:.2} %",
+        report.policy.cache_hit_rate() * 100.0
+    );
     println!("consistency     : {:?}", report.consistency);
     for p in [50.0, 90.0, 99.0] {
-        println!("  p{p:<5} write  : {:?}", report.write_responses.percentile(p));
+        println!(
+            "  p{p:<5} write  : {:?}",
+            report.write_responses.percentile(p)
+        );
     }
     println!("drained at      : {}", report.drained_at);
     println!("wall clock      : {wall:.2?}");

@@ -29,10 +29,20 @@ fn main() {
     let p = DiskParams::ultrastar_36z15();
     println!("Table II — disk and RAID configuration");
     println!("  model                : {}", p.model);
-    println!("  capacity             : {:.1} GB", p.capacity_bytes as f64 / 1e9);
+    println!(
+        "  capacity             : {:.1} GB",
+        p.capacity_bytes as f64 / 1e9
+    );
     println!("  rotation speed       : {} RPM", p.rpm);
-    println!("  avg seek / rotation  : {} / {}", p.avg_seek, p.avg_rotation());
-    println!("  sustained rate       : {} MB/s", p.transfer_rate / (1024 * 1024));
+    println!(
+        "  avg seek / rotation  : {} / {}",
+        p.avg_seek,
+        p.avg_rotation()
+    );
+    println!(
+        "  sustained rate       : {} MB/s",
+        p.transfer_rate / (1024 * 1024)
+    );
     println!(
         "  power A/I/S          : {} / {} / {} W",
         p.power_active_w, p.power_idle_w, p.power_standby_w
@@ -41,17 +51,26 @@ fn main() {
         "  spin down/up energy  : {} / {} J",
         p.spin_down_energy_j, p.spin_up_energy_j
     );
-    println!("  spin down/up time    : {} / {}", p.spin_down_time, p.spin_up_time);
+    println!(
+        "  spin down/up time    : {} / {}",
+        p.spin_down_time, p.spin_up_time
+    );
     println!("  stripe units         : 16 KB / 32 KB / 64 KB");
     println!("  disks                : 20 / 30 / 40 (+1 for GRAID)");
     println!("  free space per disk  : 8 / 6 / 4 GB (16 GB GRAID log)");
 
-    println!("\nTables III & VI — trace characteristics (paper target vs generated, {} h window)", week_secs() / 3600);
+    println!(
+        "\nTables III & VI — trace characteristics (paper target vs generated, {} h window)",
+        week_secs() / 3600
+    );
     println!(
         "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
         "trace", "wr%", "wr%*", "IOPS", "IOPS*", "avgKB", "avgKB*", "volGB", "volGB*"
     );
-    println!("{:<8} (paper targets; * = measured on the synthetic trace)", "");
+    println!(
+        "{:<8} (paper targets; * = measured on the synthetic trace)",
+        ""
+    );
 
     let dur = week();
     let scale = rolo_bench::week_scale();

@@ -60,8 +60,10 @@ where
     let n = jobs.len();
     let mut slots: Vec<parking_lot::Mutex<Option<R>>> = Vec::with_capacity(n);
     slots.resize_with(n, || parking_lot::Mutex::new(None));
-    let jobs: Vec<parking_lot::Mutex<Option<T>>> =
-        jobs.into_iter().map(|j| parking_lot::Mutex::new(Some(j))).collect();
+    let jobs: Vec<parking_lot::Mutex<Option<T>>> = jobs
+        .into_iter()
+        .map(|j| parking_lot::Mutex::new(Some(j)))
+        .collect();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)

@@ -1,5 +1,6 @@
 //! Simulation configuration: array shape, scheme selection, tunables.
 
+use crate::faults::{FaultPlan, FaultPlanError};
 use rolo_disk::{DiskParams, SchedulerKind};
 use rolo_raid::{ArrayGeometry, GeometryError};
 use rolo_sim::Duration;
@@ -98,6 +99,8 @@ pub struct SimConfig {
     pub disk: DiskParams,
     /// RNG seed for the disk service models.
     pub seed: u64,
+    /// Faults to inject during the run (none by default).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -123,6 +126,7 @@ impl SimConfig {
             scheduler: SchedulerKind::Fifo,
             disk: DiskParams::ultrastar_36z15(),
             seed: 0x5eed,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -172,36 +176,77 @@ impl SimConfig {
 
     /// Validates tunables that the geometry check does not cover.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for out-of-range thresholds, a zero
+    /// destage chunk, a GRAID log sizing problem, or an invalid fault
+    /// plan — any of which would otherwise cause silent misbehaviour
+    /// mid-run.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.destage_threshold) || self.destage_threshold <= 0.0 {
+            return Err(ConfigError::Tunable("destage threshold out of range"));
+        }
+        if !(0.0..1.0).contains(&self.rotate_free_threshold) {
+            return Err(ConfigError::Tunable("rotate threshold out of range"));
+        }
+        if self.destage_chunk == 0 {
+            return Err(ConfigError::Tunable("zero destage chunk"));
+        }
+        if self.rolo_on_duty < 1 || self.rolo_on_duty >= self.pairs.max(2) {
+            return Err(ConfigError::Tunable("rolo_on_duty out of range"));
+        }
+        if !(0.0..1.0).contains(&self.roloe_cache_fraction) {
+            return Err(ConfigError::Tunable("cache fraction out of range"));
+        }
+        if self.graid_log_capacity == 0 && self.scheme == Scheme::Graid {
+            return Err(ConfigError::Tunable("GRAID requires a log disk capacity"));
+        }
+        if self.graid_log_capacity > self.disk.capacity_bytes {
+            return Err(ConfigError::Tunable("GRAID log capacity exceeds the disk"));
+        }
+        self.faults
+            .check(self.disk_count())
+            .map_err(ConfigError::Faults)?;
+        Ok(())
+    }
+
+    /// Panicking form of [`SimConfig::check`], for callers that treat a
+    /// bad configuration as a programming error.
+    ///
     /// # Panics
     ///
-    /// Panics on out-of-range thresholds or a zero destage chunk, which
-    /// would otherwise cause silent misbehaviour mid-run.
+    /// Panics with the [`ConfigError`] message when validation fails.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.destage_threshold) && self.destage_threshold > 0.0,
-            "destage threshold out of range"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.rotate_free_threshold),
-            "rotate threshold out of range"
-        );
-        assert!(self.destage_chunk > 0, "zero destage chunk");
-        assert!(
-            self.rolo_on_duty >= 1 && self.rolo_on_duty < self.pairs.max(2),
-            "rolo_on_duty out of range"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.roloe_cache_fraction),
-            "cache fraction out of range"
-        );
-        assert!(
-            self.graid_log_capacity > 0 || self.scheme != Scheme::Graid,
-            "GRAID requires a log disk capacity"
-        );
-        assert!(
-            self.graid_log_capacity <= self.disk.capacity_bytes,
-            "GRAID log capacity exceeds the disk"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// A [`SimConfig`] that failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A tunable is out of range.
+    Tunable(&'static str),
+    /// The fault plan is inconsistent with the array.
+    Faults(FaultPlanError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Tunable(msg) => f.write_str(msg),
+            ConfigError::Faults(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Tunable(_) => None,
+            ConfigError::Faults(e) => Some(e),
+        }
     }
 }
 
@@ -221,7 +266,7 @@ mod tests {
         assert_eq!(geo.pairs(), 20);
         // 18.4 GB disk minus 8 GiB logger ≈ 10 GB data region.
         assert!(geo.data_region() > 9 << 30);
-        assert!(geo.data_region() % c.stripe_unit == 0);
+        assert!(geo.data_region().is_multiple_of(c.stripe_unit));
     }
 
     #[test]
@@ -242,6 +287,21 @@ mod tests {
         let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
         c.logger_region = c.disk.capacity_bytes + 1;
         assert!(c.geometry().is_err());
+    }
+
+    #[test]
+    fn check_flags_bad_tunables() {
+        let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
+        assert!(c.check().is_ok());
+        c.destage_chunk = 0;
+        assert_eq!(c.check(), Err(ConfigError::Tunable("zero destage chunk")));
+    }
+
+    #[test]
+    fn check_flags_bad_fault_plan() {
+        let mut c = SimConfig::paper_default(Scheme::Raid10, 4);
+        c.faults.disk_failures.push((77, Duration::from_secs(1)));
+        assert!(matches!(c.check(), Err(ConfigError::Faults(_))));
     }
 
     #[test]

@@ -6,13 +6,42 @@
 //! every callback, so policies never touch the queue directly.
 
 use crate::config::SimConfig;
-use rolo_disk::{Disk, DiskId, DiskRequest, DiskWake, IoKind, Priority};
-use rolo_disk::{DiskEnergyReport, PowerState};
+use crate::faults::{surviving_partner, FaultMetrics, FaultPlan};
+use crate::recovery::RecoveryPlan;
+use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
+use rolo_disk::{DiskEnergyReport, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
 use rolo_raid::ArrayGeometry;
 use rolo_sim::{Duration, SimRng, SimTime};
 use rolo_trace::ReqKind;
 use std::collections::HashMap;
+
+/// Bytes per rebuild chunk (matches the offline engine in
+/// [`crate::rebuild`]).
+const REBUILD_CHUNK: u64 = 1 << 20;
+
+/// Rebuild read/write chains kept in flight per degraded slot. Depth
+/// beyond the disk's own queue buys nothing: rebuild I/O is background
+/// priority and dispatches only in idle slots.
+const REBUILD_WINDOW: usize = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RebuildPhase {
+    Read,
+    Write,
+}
+
+/// Live state of one in-run rebuild onto a replacement disk.
+#[derive(Debug)]
+struct RebuildState {
+    sources: Vec<DiskId>,
+    next_source: usize,
+    total: u64,
+    issued: u64,
+    written: u64,
+    started: SimTime,
+    inflight: HashMap<u64, (RebuildPhase, u64, u64)>,
+}
 
 /// Outcome of the final sub-request of a user request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +82,32 @@ pub struct SimCtx {
     pub log_timeline: Timeline,
     /// Sampled aggregate power draw over time (watts).
     pub power_timeline: Timeline,
+    /// Response-time statistics over user requests completed while the
+    /// array was degraded (at least one slot awaiting rebuild).
+    pub degraded_responses: ResponseStats,
+    /// Fault-injection counters (see [`FaultMetrics`]).
+    pub faults: FaultMetrics,
+    fault_plan: FaultPlan,
+    fault_rng: SimRng,
+    spare_rng: SimRng,
+    disk_params: DiskParams,
+    scheduler: SchedulerKind,
+    bg_idle_guard: Duration,
+    /// Per-slot replacement generation; bumped when a spare is installed
+    /// so stale wakes of the dead disk can be dropped.
+    epochs: Vec<u32>,
+    /// Slots whose current disk is a replacement still awaiting rebuild,
+    /// with the failure instant.
+    degraded: HashMap<DiskId, SimTime>,
+    degraded_since: Option<SimTime>,
+    first_failure_at: Option<SimTime>,
+    retries: HashMap<u64, u32>,
+    rebuilds: HashMap<DiskId, RebuildState>,
+    rebuild_ios: HashMap<u64, DiskId>,
+    finished_rebuilds: Vec<DiskId>,
+    /// Energy history of dead disks, merged into the slot's live report
+    /// so array totals conserve energy across replacements.
+    retired: HashMap<DiskId, DiskEnergyReport>,
 }
 
 impl SimCtx {
@@ -80,6 +135,7 @@ impl SimCtx {
                 disk
             })
             .collect();
+        let disk_count = cfg.disk_count();
         SimCtx {
             now: SimTime::ZERO,
             geometry,
@@ -94,6 +150,23 @@ impl SimCtx {
             intervals: IntervalTracker::new(),
             log_timeline: Timeline::new(Duration::from_secs(60)),
             power_timeline: Timeline::new(Duration::from_secs(30)),
+            degraded_responses: ResponseStats::new(),
+            faults: FaultMetrics::default(),
+            fault_plan: cfg.faults.clone(),
+            fault_rng: SimRng::seed_from(cfg.faults.seed).fork("fault-draws"),
+            spare_rng: SimRng::seed_from(cfg.seed).fork("spares"),
+            disk_params: cfg.disk.clone(),
+            scheduler: cfg.scheduler,
+            bg_idle_guard: cfg.bg_idle_guard,
+            epochs: vec![0; disk_count],
+            degraded: HashMap::new(),
+            degraded_since: None,
+            first_failure_at: None,
+            retries: HashMap::new(),
+            rebuilds: HashMap::new(),
+            rebuild_ios: HashMap::new(),
+            finished_rebuilds: Vec::new(),
+            retired: HashMap::new(),
         }
     }
 
@@ -273,6 +346,9 @@ impl SimCtx {
             ReqKind::Read => self.read_responses.record(response),
             ReqKind::Write => self.write_responses.record(response),
         }
+        if !self.degraded.is_empty() {
+            self.degraded_responses.record(response);
+        }
         Some(CompletedUser {
             kind: o.kind,
             response,
@@ -284,9 +360,19 @@ impl SimCtx {
         self.outstanding.len()
     }
 
-    /// Energy reports for every disk as of `now`.
+    /// Energy reports for every slot as of `now`: the live disk's report
+    /// merged with the history of any dead disks that occupied the slot.
     pub fn energy_by_disk(&self) -> Vec<DiskEnergyReport> {
-        self.disks.iter().map(|d| d.energy_report(self.now)).collect()
+        self.disks
+            .iter()
+            .map(|d| {
+                let live = d.energy_report(self.now);
+                match self.retired.get(&d.id()) {
+                    Some(dead) => dead.merged(&live),
+                    None => live,
+                }
+            })
+            .collect()
     }
 
     /// Instantaneous aggregate power draw of the array (W).
@@ -294,20 +380,334 @@ impl SimCtx {
         self.disks.iter().map(|d| d.current_power_w()).sum()
     }
 
-    /// Total array energy (J) as of `now`.
+    /// Total array energy (J) as of `now`, including dead disks' history.
     pub fn total_energy(&self) -> f64 {
-        self.disks
-            .iter()
-            .map(|d| d.energy_report(self.now).total_joules)
-            .sum()
+        self.energy_by_disk().iter().map(|r| r.total_joules).sum()
     }
 
     /// Total spin cycles (spin-ups) across the array so far.
     pub fn spin_cycles(&self) -> u64 {
-        self.disks
+        self.energy_by_disk().iter().map(|r| r.spin_ups).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The fault plan this run was configured with.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Current replacement generation of `disk`'s slot.
+    pub fn epoch(&self, disk: DiskId) -> u32 {
+        self.epochs[disk]
+    }
+
+    /// True if a wake tagged with `epoch` still belongs to the disk
+    /// occupying `disk`'s slot (false after a replacement).
+    pub fn epoch_live(&self, disk: DiskId, epoch: u32) -> bool {
+        self.epochs[disk] == epoch
+    }
+
+    /// True while `disk`'s slot holds a replacement awaiting rebuild.
+    /// Reads must not target it: the data is not there yet.
+    pub fn is_degraded(&self, disk: DiskId) -> bool {
+        self.degraded.contains_key(&disk)
+    }
+
+    /// Number of slots currently degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Kills the disk in slot `disk` and installs a hot spare.
+    ///
+    /// Returns the policy-owned requests that were queued or in flight on
+    /// the dead disk (rebuild-owned requests are re-issued internally);
+    /// the caller must complete each through the policy's error path so
+    /// no user request is silently dropped. Returns `None` — injecting
+    /// nothing — when the failure would be the pair's second (data loss
+    /// is the reliability model's domain, not the replay's).
+    pub fn fail_disk(&mut self, disk: DiskId) -> Option<Vec<DiskRequest>> {
+        let partner = surviving_partner(&self.geometry, disk);
+        if self.is_degraded(disk) || partner.is_some_and(|p| self.is_degraded(p)) {
+            self.faults.double_faults_suppressed += 1;
+            return None;
+        }
+        self.faults.disk_failures += 1;
+        self.first_failure_at.get_or_insert(self.now);
+        if self.degraded.is_empty() {
+            self.degraded_since = Some(self.now);
+        }
+
+        // Retire the dead disk's energy history so array totals conserve.
+        let history = self.disks[disk].energy_report(self.now);
+        let merged = match self.retired.get(&disk) {
+            Some(prev) => prev.merged(&history),
+            None => history,
+        };
+        self.retired.insert(disk, merged);
+
+        let aborted = self.disks[disk].fail_now(self.now);
+        self.epochs[disk] += 1;
+        let label = format!("spare-{disk}-{}", self.epochs[disk]);
+        let mut spare = Disk::with_initial_state_at(
+            disk,
+            self.disk_params.clone(),
+            self.spare_rng.fork(&label),
+            PowerState::Idle,
+            self.now,
+        );
+        spare.set_bg_idle_guard(self.bg_idle_guard);
+        spare.set_scheduler(self.scheduler);
+        self.disks[disk] = spare;
+        self.degraded.insert(disk, self.now);
+
+        // The dead disk drops out of every running rebuild's source set,
+        // and its in-flight rebuild reads move to a surviving source.
+        for st in self.rebuilds.values_mut() {
+            st.sources.retain(|&s| s != disk);
+        }
+        let mut policy_owned = Vec::new();
+        for req in aborted {
+            match self.rebuild_ios.get(&req.id).copied() {
+                Some(slot) => self.reissue_rebuild_read(slot, req.id),
+                None => policy_owned.push(req),
+            }
+        }
+        Some(policy_owned)
+    }
+
+    /// Classifies a completed policy I/O against the fault plan: a
+    /// transient timeout, a latent sector error (reads only), or a clean
+    /// completion. Rebuild I/O is exempt — the driver routes it through
+    /// [`SimCtx::on_rebuild_io`] before classification.
+    pub fn classify_completion(&mut self, req: &DiskRequest) -> IoOutcome {
+        let p_timeout = self.fault_plan.timeout_per_io;
+        if p_timeout > 0.0 && self.fault_rng.chance(p_timeout) {
+            self.faults.timeouts += 1;
+            return IoOutcome::Timeout;
+        }
+        let p_media = self.fault_plan.media_error_per_read;
+        if req.kind == IoKind::Read && p_media > 0.0 && self.fault_rng.chance(p_media) {
+            self.faults.media_errors += 1;
+            self.retries.remove(&req.id);
+            return IoOutcome::MediaError;
+        }
+        self.retries.remove(&req.id);
+        IoOutcome::Ok
+    }
+
+    /// Books a timeout for request `id`: returns the backoff before the
+    /// next retry (exponential, doubling per attempt), or `None` when the
+    /// retry budget is exhausted and the request is counted lost.
+    pub fn note_timeout(&mut self, id: u64) -> Option<Duration> {
+        let attempts = self.retries.entry(id).or_insert(0);
+        if *attempts >= self.fault_plan.max_retries {
+            self.retries.remove(&id);
+            self.faults.io_lost += 1;
+            return None;
+        }
+        *attempts += 1;
+        self.faults.retries += 1;
+        let backoff = self.fault_plan.retry_backoff * 2u64.pow(*attempts - 1);
+        Some(backoff)
+    }
+
+    /// Records that a user read was redirected to a surviving copy.
+    pub fn note_redirect(&mut self) {
+        self.faults.reads_redirected += 1;
+        if self.faults.time_to_first_redirect.is_none() {
+            if let Some(t0) = self.first_failure_at {
+                self.faults.time_to_first_redirect = Some(self.now.since(t0));
+            }
+        }
+    }
+
+    /// Closes the degraded-time window at `now` (called by the driver
+    /// when the run ends with a rebuild still outstanding).
+    pub fn finalize_faults(&mut self) {
+        if let Some(since) = self.degraded_since.take() {
+            self.faults.degraded_time += self.now.since(since);
+        }
+        if !self.degraded.is_empty() {
+            // Keep the window open for any further accounting.
+            self.degraded_since = Some(self.now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild engine
+    // ------------------------------------------------------------------
+
+    /// Starts rebuilding slot `plan.failed` onto its replacement disk:
+    /// `total_bytes` are copied in [`REBUILD_CHUNK`] chunks, read
+    /// round-robin from the plan's participant disks and written to the
+    /// replacement at background priority, so foreground I/O naturally
+    /// throttles the rebuild via the idle-slot guard. A zero-byte rebuild
+    /// (nothing worth copying, e.g. a log disk holding only obsolete
+    /// second copies) completes immediately. Idempotent per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not degraded.
+    pub fn begin_rebuild(&mut self, plan: &RecoveryPlan, total_bytes: u64) {
+        let slot = plan.failed;
+        assert!(self.is_degraded(slot), "rebuild target {slot} not degraded");
+        if self.rebuilds.contains_key(&slot) {
+            return;
+        }
+        if total_bytes == 0 {
+            self.complete_rebuild(slot, self.degraded[&slot]);
+            return;
+        }
+        let mut sources: Vec<DiskId> = plan
+            .wake
             .iter()
-            .map(|d| d.energy_report(self.now).spin_ups)
-            .sum()
+            .chain(plan.silent.iter())
+            .copied()
+            .filter(|&d| d != slot && !self.is_degraded(d))
+            .collect();
+        if sources.is_empty() {
+            let partner =
+                surviving_partner(&self.geometry, slot).expect("rebuild with no data source");
+            sources.push(partner);
+        }
+        for &d in &sources {
+            self.spin_up(d);
+        }
+        let started = self.degraded[&slot];
+        self.rebuilds.insert(
+            slot,
+            RebuildState {
+                sources,
+                next_source: 0,
+                total: total_bytes,
+                issued: 0,
+                written: 0,
+                started,
+                inflight: HashMap::new(),
+            },
+        );
+        for _ in 0..REBUILD_WINDOW {
+            self.issue_rebuild_read(slot);
+        }
+    }
+
+    /// True if sub-request `id` belongs to the rebuild engine rather
+    /// than the policy.
+    pub fn is_rebuild_io(&self, id: u64) -> bool {
+        self.rebuild_ios.contains_key(&id)
+    }
+
+    /// Advances the rebuild owning the completed request: a finished
+    /// chunk read becomes a write to the replacement; a finished write
+    /// pulls the next chunk or completes the rebuild. Completed slots are
+    /// queued for [`SimCtx::take_finished_rebuilds`].
+    pub fn on_rebuild_io(&mut self, req: &DiskRequest) {
+        let slot = self
+            .rebuild_ios
+            .remove(&req.id)
+            .expect("completion for unregistered rebuild io");
+        let st = self.rebuilds.get_mut(&slot).expect("rebuild state present");
+        let (phase, offset, bytes) = st.inflight.remove(&req.id).expect("rebuild io in flight");
+        match phase {
+            RebuildPhase::Read => {
+                let id = self.alloc_io_id();
+                let st = self.rebuilds.get_mut(&slot).expect("rebuild state present");
+                st.inflight.insert(id, (RebuildPhase::Write, offset, bytes));
+                self.rebuild_ios.insert(id, slot);
+                self.submit_with_id(slot, id, IoKind::Write, offset, bytes, Priority::Background);
+            }
+            RebuildPhase::Write => {
+                st.written += bytes;
+                self.faults.rebuild_bytes += bytes;
+                let done = st.written >= st.total && st.inflight.is_empty();
+                let started = st.started;
+                if done {
+                    self.complete_rebuild(slot, started);
+                } else {
+                    self.issue_rebuild_read(slot);
+                }
+            }
+        }
+    }
+
+    /// Drains the slots whose rebuild completed since the last call, so
+    /// the driver can notify the policy.
+    pub fn take_finished_rebuilds(&mut self) -> Vec<DiskId> {
+        std::mem::take(&mut self.finished_rebuilds)
+    }
+
+    fn complete_rebuild(&mut self, slot: DiskId, started: SimTime) {
+        self.rebuilds.remove(&slot);
+        self.degraded.remove(&slot);
+        self.faults.rebuilds_completed += 1;
+        self.faults.rebuild_durations.push(self.now.since(started));
+        if self.degraded.is_empty() {
+            if let Some(since) = self.degraded_since.take() {
+                self.faults.degraded_time += self.now.since(since);
+            }
+        }
+        self.finished_rebuilds.push(slot);
+    }
+
+    /// Issues the next chunk read of `slot`'s rebuild, if any remains.
+    fn issue_rebuild_read(&mut self, slot: DiskId) {
+        let Some(st) = self.rebuilds.get_mut(&slot) else {
+            return;
+        };
+        if st.issued >= st.total || st.sources.is_empty() {
+            return;
+        }
+        let offset = st.issued;
+        let bytes = REBUILD_CHUNK.min(st.total - st.issued);
+        st.issued += bytes;
+        let source = st.sources[st.next_source % st.sources.len()];
+        st.next_source += 1;
+        let id = self.alloc_io_id();
+        let st = self.rebuilds.get_mut(&slot).expect("rebuild state present");
+        st.inflight.insert(id, (RebuildPhase::Read, offset, bytes));
+        self.rebuild_ios.insert(id, slot);
+        self.submit_with_id(
+            source,
+            id,
+            IoKind::Read,
+            offset,
+            bytes,
+            Priority::Background,
+        );
+    }
+
+    /// Re-issues an in-flight rebuild read aborted by a source failure on
+    /// the next surviving source (the dead source has already been
+    /// removed from the rebuild's source list).
+    fn reissue_rebuild_read(&mut self, slot: DiskId, id: u64) {
+        let st = self.rebuilds.get_mut(&slot).expect("rebuild state present");
+        let (phase, offset, bytes) = st.inflight[&id];
+        debug_assert_eq!(
+            phase,
+            RebuildPhase::Read,
+            "rebuild writes target the degraded slot, which cannot fail again"
+        );
+        if st.sources.is_empty() {
+            // No surviving source: the pair partner must still be alive
+            // (double faults are suppressed), so fall back to it.
+            let partner =
+                surviving_partner(&self.geometry, slot).expect("rebuild with no data source");
+            st.sources.push(partner);
+        }
+        let source = st.sources[st.next_source % st.sources.len()];
+        st.next_source += 1;
+        self.submit_with_id(
+            source,
+            id,
+            IoKind::Read,
+            offset,
+            bytes,
+            Priority::Background,
+        );
     }
 }
 

@@ -14,20 +14,26 @@ use crate::config::SimConfig;
 use crate::ctx::{SimCtx, WakeKind};
 use crate::policy::Policy;
 use crate::report::SimReport;
-use rolo_disk::{DiskEnergyReport, DiskId, DiskWake};
+use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
 use rolo_sim::{Duration, EventQueue, SimTime};
 use rolo_trace::TraceRecord;
 
+/// Disk events carry the slot's replacement epoch at scheduling time:
+/// when a disk dies mid-flight its queued wakes must not be delivered to
+/// the hot spare that reuses its slot, so delivery drops any event whose
+/// epoch is stale.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Arrival,
-    DiskIo(DiskId),
-    DiskSpinUp(DiskId),
-    DiskSpinDown(DiskId),
-    DiskBgRetry(DiskId),
+    DiskIo(DiskId, u32),
+    DiskSpinUp(DiskId, u32),
+    DiskSpinDown(DiskId, u32),
+    DiskBgRetry(DiskId, u32),
     Timer(u64),
     PowerSample,
+    DiskFail(DiskId),
+    IoRetry(DiskId, u32, DiskRequest),
     TraceEnd,
 }
 
@@ -70,7 +76,9 @@ pub fn run_trace_returning<P: Policy>(
     mut policy: P,
     duration: Duration,
 ) -> (SimReport, P) {
-    cfg.validate();
+    if let Err(e) = cfg.check() {
+        panic!("invalid configuration: {e}");
+    }
     let geometry = cfg.geometry().expect("invalid geometry");
     let standby: Vec<bool> = (0..cfg.disk_count())
         .map(|d| policy.initial_standby(d))
@@ -85,6 +93,9 @@ pub fn run_trace_returning<P: Policy>(
     let mut records = records.into_iter().peekable();
     let trace_end = SimTime::ZERO + duration;
     queue.schedule(trace_end, Event::TraceEnd);
+    for (disk, at) in cfg.faults.schedule(cfg.disk_count(), duration) {
+        queue.schedule(at, Event::DiskFail(disk));
+    }
     // Sample aggregate power ~1000 times over the window (min 1 s apart).
     let sample_every = Duration::from_micros((duration.as_micros() / 1000).max(1_000_000));
     queue.schedule(SimTime::ZERO + sample_every, Event::PowerSample);
@@ -147,22 +158,69 @@ pub fn run_trace_returning<P: Policy>(
                     trace_done = true;
                 }
             }
-            Event::DiskIo(d) => {
-                let req = ctx
-                    .deliver_wake(d, WakeKind::Io)
-                    .expect("io wake returns the request");
-                policy.on_io_complete(&mut ctx, d, req);
+            Event::DiskIo(d, ep) => {
+                if ctx.epoch_live(d, ep) {
+                    let req = ctx
+                        .deliver_wake(d, WakeKind::Io)
+                        .expect("io wake returns the request");
+                    if ctx.is_rebuild_io(req.id) {
+                        // Rebuild traffic is exempt from fault
+                        // classification: the copy loop must terminate.
+                        ctx.on_rebuild_io(&req);
+                    } else {
+                        match ctx.classify_completion(&req) {
+                            IoOutcome::Ok => policy.on_io_complete(&mut ctx, d, req),
+                            IoOutcome::MediaError => {
+                                policy.on_io_error(&mut ctx, d, req, IoOutcome::MediaError);
+                            }
+                            IoOutcome::Timeout => match ctx.note_timeout(req.id) {
+                                Some(backoff) => {
+                                    let retry = Event::IoRetry(d, ctx.epoch(d), req);
+                                    queue.schedule(ctx.now + backoff, retry);
+                                }
+                                None => {
+                                    policy.on_io_error(&mut ctx, d, req, IoOutcome::Timeout);
+                                }
+                            },
+                            IoOutcome::DiskDead => unreachable!("classification never kills"),
+                        }
+                    }
+                }
             }
-            Event::DiskSpinUp(d) => {
-                ctx.deliver_wake(d, WakeKind::SpinUp);
-                policy.on_spin_up(&mut ctx, d);
+            Event::DiskSpinUp(d, ep) => {
+                if ctx.epoch_live(d, ep) {
+                    ctx.deliver_wake(d, WakeKind::SpinUp);
+                    policy.on_spin_up(&mut ctx, d);
+                }
             }
-            Event::DiskSpinDown(d) => {
-                ctx.deliver_wake(d, WakeKind::SpinDown);
-                policy.on_spin_down(&mut ctx, d);
+            Event::DiskSpinDown(d, ep) => {
+                if ctx.epoch_live(d, ep) {
+                    ctx.deliver_wake(d, WakeKind::SpinDown);
+                    policy.on_spin_down(&mut ctx, d);
+                }
             }
-            Event::DiskBgRetry(d) => {
-                ctx.deliver_wake(d, WakeKind::BgRetry);
+            Event::DiskBgRetry(d, ep) => {
+                if ctx.epoch_live(d, ep) {
+                    ctx.deliver_wake(d, WakeKind::BgRetry);
+                }
+            }
+            Event::DiskFail(d) => {
+                if let Some(aborted) = ctx.fail_disk(d) {
+                    policy.on_disk_failure(&mut ctx, d);
+                    for req in aborted {
+                        policy.on_io_error(&mut ctx, d, req, IoOutcome::DiskDead);
+                    }
+                }
+            }
+            Event::IoRetry(d, ep, req) => {
+                if ctx.epoch_live(d, ep) {
+                    ctx.submit_with_id(d, req.id, req.kind, req.offset, req.bytes, req.priority);
+                } else {
+                    // The disk died while the retry waited out its
+                    // backoff; hand the request to the error path so its
+                    // accounting still closes.
+                    policy.on_io_error(&mut ctx, d, req, IoOutcome::DiskDead);
+                }
             }
             Event::Timer(token) => {
                 policy.on_timer(&mut ctx, token);
@@ -188,11 +246,15 @@ pub fn run_trace_returning<P: Policy>(
                 policy.begin_drain(&mut ctx);
             }
         }
+        for slot in ctx.take_finished_rebuilds() {
+            policy.on_rebuild_complete(&mut ctx, slot);
+        }
         drain_ctx(&mut ctx, &mut queue);
         if trace_done && snapshot.is_some() && queue.is_empty() && policy.is_drained(&ctx) {
             break;
         }
     }
+    ctx.finalize_faults();
 
     let snapshot = snapshot.unwrap_or_default();
     let aggregate = snapshot
@@ -229,6 +291,8 @@ pub fn run_trace_returning<P: Policy>(
             .map(|(t, v)| (t.as_secs_f64(), *v))
             .collect(),
         policy: policy.stats(),
+        faults: ctx.faults.clone(),
+        degraded_responses: ctx.degraded_responses.clone(),
         consistency,
     };
     (report, policy)
@@ -253,11 +317,12 @@ fn drain_ctx(ctx: &mut SimCtx, queue: &mut EventQueue<Event>) {
             break;
         }
         for (disk, wake) in wakes {
+            let ep = ctx.epoch(disk);
             let ev = match wake {
-                DiskWake::Io(_) => Event::DiskIo(disk),
-                DiskWake::SpinUp(_) => Event::DiskSpinUp(disk),
-                DiskWake::SpinDown(_) => Event::DiskSpinDown(disk),
-                DiskWake::BgRetry(_) => Event::DiskBgRetry(disk),
+                DiskWake::Io(_) => Event::DiskIo(disk, ep),
+                DiskWake::SpinUp(_) => Event::DiskSpinUp(disk, ep),
+                DiskWake::SpinDown(_) => Event::DiskSpinDown(disk, ep),
+                DiskWake::BgRetry(_) => Event::DiskBgRetry(disk, ep),
             };
             queue.schedule(wake.due(), ev);
         }

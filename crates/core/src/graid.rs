@@ -14,9 +14,11 @@
 
 use crate::ctx::SimCtx;
 use crate::dirty::DirtyMap;
+use crate::faults::surviving_partner;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
-use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use crate::recovery::recovery_plan;
+use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
@@ -70,7 +72,13 @@ impl GraidPolicy {
     /// # Panics
     ///
     /// Panics on a zero-sized log or out-of-range threshold.
-    pub fn new(pairs: usize, log_disk: DiskId, log_capacity: u64, threshold: f64, chunk: u64) -> Self {
+    pub fn new(
+        pairs: usize,
+        log_disk: DiskId,
+        log_capacity: u64,
+        threshold: f64,
+        chunk: u64,
+    ) -> Self {
         assert!(log_capacity > 0, "zero log capacity");
         assert!((0.0..=1.0).contains(&threshold) && threshold > 0.0);
         GraidPolicy {
@@ -120,7 +128,8 @@ impl GraidPolicy {
         self.mode = Mode::Destaging;
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
-            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+            ctx.intervals
+                .end(tok, ctx.now, energy - self.phase_energy_mark);
         }
         self.phase_energy_mark = energy;
         self.destaging_token = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
@@ -165,7 +174,8 @@ impl GraidPolicy {
         ctx.log_timeline.push(ctx.now, 0.0);
         let energy = ctx.total_energy();
         if let Some(tok) = self.destaging_token.take() {
-            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+            ctx.intervals
+                .end(tok, ctx.now, energy - self.phase_energy_mark);
         }
         self.phase_energy_mark = energy;
         self.mode = Mode::Logging;
@@ -206,8 +216,15 @@ impl Policy for GraidPolicy {
         match rec.kind {
             ReqKind::Read => {
                 for ext in &exts {
-                    let p = ctx.geometry().primary_disk(ext.pair);
-                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    let mut d = ctx.geometry().primary_disk(ext.pair);
+                    if ctx.is_degraded(d) {
+                        // Degraded mode: the mirror absorbs the primary's
+                        // reads until its rebuild completes (§III-C).
+                        d = ctx.geometry().mirror_disk(ext.pair);
+                        ctx.note_redirect();
+                    }
+                    let id =
+                        ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                 }
@@ -216,7 +233,13 @@ impl Policy for GraidPolicy {
                 // Primary copies in place.
                 for ext in &exts {
                     let p = ctx.geometry().primary_disk(ext.pair);
-                    let id = ctx.submit(p, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                    let id = ctx.submit(
+                        p,
+                        IoKind::Write,
+                        ext.offset,
+                        ext.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                 }
@@ -243,7 +266,13 @@ impl Policy for GraidPolicy {
                             logged_all = false;
                             // Log full: fall back to a direct mirror copy.
                             let m = ctx.geometry().mirror_disk(ext.pair);
-                            let id = ctx.submit(m, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                            let id = ctx.submit(
+                                m,
+                                IoKind::Write,
+                                ext.offset,
+                                ext.bytes,
+                                Priority::Foreground,
+                            );
                             self.io_map.insert(id, Tag::User(user_id));
                             subs += 1;
                             meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -295,6 +324,68 @@ impl Policy for GraidPolicy {
         }
     }
 
+    fn on_io_error(
+        &mut self,
+        ctx: &mut SimCtx,
+        disk: DiskId,
+        req: DiskRequest,
+        outcome: IoOutcome,
+    ) {
+        // Only user reads hitting a latent sector error or a degraded
+        // slot can be re-served elsewhere; everything else closes through
+        // the normal completion path (the rebuild restores the
+        // replacement's copy).
+        if req.kind == IoKind::Read && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) {
+            if let Some(Tag::User(user)) = self.io_map.get(&req.id).copied() {
+                if let Some(p) =
+                    surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
+                {
+                    self.io_map.remove(&req.id);
+                    ctx.note_redirect();
+                    let id =
+                        ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user));
+                    return;
+                }
+            }
+        }
+        self.on_io_complete(ctx, disk, req);
+    }
+
+    fn on_disk_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let plan = recovery_plan(crate::config::Scheme::Graid, ctx.geometry(), disk, 0, &[]);
+        if disk == self.log_disk {
+            // The log held only second copies, but they were the sole
+            // redundancy for stale mirror blocks: drop the now-gone log
+            // contents and destage everything dirty from the primaries.
+            self.log.reclaim(|_| true);
+            ctx.log_timeline.push(ctx.now, 0.0);
+            ctx.begin_rebuild(&plan, 0);
+            if self.dirty_bytes() > 0 {
+                self.start_destage(ctx);
+            }
+            return;
+        }
+        ctx.begin_rebuild(&plan, ctx.geometry().data_region());
+        // A mirror that died while (or before) spinning up for a destage
+        // loses its spin-up wake with the dead disk; the replacement is
+        // already spinning, so kick the pair's pump directly.
+        if self.mode == Mode::Destaging && disk >= self.pairs && disk < 2 * self.pairs {
+            self.pump(ctx, disk - self.pairs);
+        }
+    }
+
+    fn on_rebuild_complete(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        // A rebuilt mirror goes back to standby once logging resumes.
+        if self.mode == Mode::Logging
+            && !self.draining
+            && disk >= self.pairs
+            && disk < 2 * self.pairs
+        {
+            ctx.spin_down(disk);
+        }
+    }
+
     fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId) {
         if disk >= self.pairs && disk < 2 * self.pairs {
             self.pump(ctx, disk - self.pairs);
@@ -335,7 +426,10 @@ impl Policy for GraidPolicy {
             return Err(format!("{} log bytes unreclaimed", self.log.used_bytes()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         if !self.io_map.is_empty() {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));

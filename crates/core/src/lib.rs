@@ -30,6 +30,7 @@ pub mod config;
 pub mod ctx;
 pub mod dirty;
 pub mod driver;
+pub mod faults;
 pub mod graid;
 pub mod logspace;
 pub mod paraid;
@@ -41,9 +42,10 @@ pub mod report;
 pub mod rolo;
 pub mod roloe;
 
-pub use config::{Scheme, SimConfig};
+pub use config::{ConfigError, Scheme, SimConfig};
 pub use ctx::SimCtx;
 pub use driver::{run_scheme, run_trace, run_trace_returning};
+pub use faults::{surviving_partner, FaultMetrics, FaultPlan, FaultPlanError};
 pub use graid::GraidPolicy;
 pub use paraid::ParaidPolicy;
 pub use policy::{Policy, PolicyStats};

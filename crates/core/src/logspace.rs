@@ -260,7 +260,15 @@ mod tests {
     fn alloc_is_sequential_from_base() {
         let mut ls = LoggerSpace::new(100, 1000);
         let a = ls.alloc(300, 0, 0).unwrap();
-        assert_eq!(a, vec![LogSegment { pair: 0, period: 0, offset: 100, bytes: 300 }]);
+        assert_eq!(
+            a,
+            vec![LogSegment {
+                pair: 0,
+                period: 0,
+                offset: 100,
+                bytes: 300
+            }]
+        );
         let b = ls.alloc(200, 1, 0).unwrap();
         assert_eq!(b[0].offset, 400);
         ls.check_invariants().unwrap();
@@ -281,7 +289,7 @@ mod tests {
         ls.alloc(400, 0, 0).unwrap(); // [0,400) pair0
         ls.alloc(200, 1, 0).unwrap(); // [400,600) pair1
         ls.alloc(400, 0, 0).unwrap(); // [600,1000) pair0
-        // Free pair 0 → fragments [0,400) and [600,1000).
+                                      // Free pair 0 → fragments [0,400) and [600,1000).
         assert_eq!(ls.reclaim(|s| s.pair == 0), 800);
         assert_eq!(ls.free_fragments(), 2);
         // 600-byte allocation must span both fragments.

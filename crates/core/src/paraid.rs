@@ -237,7 +237,13 @@ impl ParaidPolicy {
         let mut subs = 0;
         for ext in exts {
             let p = ctx.geometry().primary_disk(ext.pair);
-            let id = ctx.submit(p, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+            let id = ctx.submit(
+                p,
+                IoKind::Write,
+                ext.offset,
+                ext.bytes,
+                Priority::Foreground,
+            );
             self.io_map.insert(id, Tag::User(user_id));
             subs += 1;
             // Shadow copy on the next primary over (never the same disk,
@@ -268,7 +274,13 @@ impl ParaidPolicy {
                     // no rotation to fall back on).
                     self.stats.direct_writes += 1;
                     let m = ctx.geometry().mirror_disk(ext.pair);
-                    let id = ctx.submit(m, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                    let id = ctx.submit(
+                        m,
+                        IoKind::Write,
+                        ext.offset,
+                        ext.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                     meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -309,7 +321,8 @@ impl Policy for ParaidPolicy {
             ReqKind::Read => {
                 for ext in &exts {
                     let p = ctx.geometry().primary_disk(ext.pair);
-                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    let id =
+                        ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                 }
@@ -329,13 +342,20 @@ impl Policy for ParaidPolicy {
                     if self.gear == Gear::High && ready && !ctx.disk(m).is_park_pending() {
                         let p = ctx.geometry().primary_disk(ext.pair);
                         for d in [p, m] {
-                            let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                            let id = ctx.submit(
+                                d,
+                                IoKind::Write,
+                                ext.offset,
+                                ext.bytes,
+                                Priority::Foreground,
+                            );
                             self.io_map.insert(id, Tag::User(user_id));
                             subs += 1;
                         }
                         meta.clears.push((ext.pair, ext.offset, ext.bytes));
                     } else {
-                        subs += self.write_shadowed(ctx, user_id, &mut meta, std::slice::from_ref(ext));
+                        subs +=
+                            self.write_shadowed(ctx, user_id, &mut meta, std::slice::from_ref(ext));
                     }
                 }
             }
@@ -455,7 +475,10 @@ impl Policy for ParaidPolicy {
             ));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         if !self.io_map.is_empty() {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));

@@ -2,7 +2,7 @@
 //! reports.
 
 use crate::ctx::SimCtx;
-use rolo_disk::{DiskId, DiskRequest};
+use rolo_disk::{DiskId, DiskRequest, IoOutcome};
 use rolo_trace::TraceRecord;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +62,41 @@ pub trait Policy {
 
     /// A sub-request completed on `disk`.
     fn on_io_complete(&mut self, ctx: &mut SimCtx, disk: DiskId, req: DiskRequest);
+
+    /// A sub-request on `disk` finished abnormally: a latent sector
+    /// error, a timed-out request whose retry budget ran out, or an I/O
+    /// aborted by the disk's death.
+    ///
+    /// The default forwards to [`Policy::on_io_complete`], so request
+    /// accounting always closes and nothing is silently dropped; policies
+    /// with a degraded mode override this to redirect failed user reads
+    /// to a surviving copy first.
+    fn on_io_error(
+        &mut self,
+        ctx: &mut SimCtx,
+        disk: DiskId,
+        req: DiskRequest,
+        outcome: IoOutcome,
+    ) {
+        let _ = outcome;
+        self.on_io_complete(ctx, disk, req);
+    }
+
+    /// The disk in slot `disk` died and a blank hot spare was installed
+    /// in its place (see [`SimCtx::fail_disk`]). Policies start their
+    /// degraded mode here: compute the recovery plan, kick the rebuild,
+    /// and drop any internal state that lived on the dead disk. The
+    /// default does nothing — adequate only for schemes without
+    /// scheme-level failure handling.
+    fn on_disk_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let _ = (ctx, disk);
+    }
+
+    /// The rebuild of slot `disk` completed: the replacement now holds a
+    /// full copy and normal routing may resume. Default: nothing.
+    fn on_rebuild_complete(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let _ = (ctx, disk);
+    }
 
     /// `disk` finished spinning up.
     fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId);

@@ -3,10 +3,17 @@
 //! Writes go to both disks of the owning pair in place; reads are
 //! balanced across the pair by queue depth. No logging, no destaging, no
 //! power management — the energy baseline every figure normalises to.
+//!
+//! Degraded mode (§III-C): a failed disk's partner — already active in
+//! RAID10 — silently absorbs its reads while the replacement rebuilds in
+//! the background; writes keep landing on both slots so the replacement
+//! accumulates fresh data from the moment it is installed.
 
 use crate::ctx::SimCtx;
+use crate::faults::surviving_partner;
 use crate::policy::{Policy, PolicyStats};
-use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use crate::recovery::recovery_plan;
+use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -23,11 +30,18 @@ impl Raid10Policy {
         Self::default()
     }
 
-    /// Chooses the less-loaded disk of a pair for a read.
+    /// Chooses the less-loaded disk of a pair for a read, never a
+    /// degraded slot (its replacement does not hold the data yet).
     fn read_target(ctx: &SimCtx, pair: usize) -> DiskId {
         let geo = ctx.geometry();
         let p = geo.primary_disk(pair);
         let m = geo.mirror_disk(pair);
+        if ctx.is_degraded(p) {
+            return m;
+        }
+        if ctx.is_degraded(m) {
+            return p;
+        }
         let load = |d: DiskId| {
             let disk = ctx.disk(d);
             disk.foreground_pending() + usize::from(disk.is_busy())
@@ -67,13 +81,20 @@ impl Policy for Raid10Policy {
                     let p = ctx.geometry().primary_disk(ext.pair);
                     let m = ctx.geometry().mirror_disk(ext.pair);
                     for d in [p, m] {
-                        let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                        let id = ctx.submit(
+                            d,
+                            IoKind::Write,
+                            ext.offset,
+                            ext.bytes,
+                            Priority::Foreground,
+                        );
                         self.io_map.insert(id, user_id);
                     }
                 }
                 ReqKind::Read => {
                     let d = Self::read_target(ctx, ext.pair);
-                    let id = ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    let id =
+                        ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, user_id);
                 }
             }
@@ -86,6 +107,40 @@ impl Policy for Raid10Policy {
             .remove(&req.id)
             .expect("RAID10 issues only user sub-requests");
         ctx.user_sub_done(user);
+    }
+
+    fn on_io_error(
+        &mut self,
+        ctx: &mut SimCtx,
+        disk: DiskId,
+        req: DiskRequest,
+        outcome: IoOutcome,
+    ) {
+        // A failed read — a latent sector error, or any read lost to a
+        // dying/degraded slot — is re-served by the mirror copy; every
+        // other error (writes, exhausted retries) just closes accounting
+        // — the rebuild restores the replacement's copy.
+        if req.kind == IoKind::Read && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) {
+            if let Some(p) =
+                surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
+            {
+                let user = self
+                    .io_map
+                    .remove(&req.id)
+                    .expect("RAID10 issues only user sub-requests");
+                ctx.note_redirect();
+                let id = ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
+                self.io_map.insert(id, user);
+                return;
+            }
+        }
+        self.on_io_complete(ctx, disk, req);
+    }
+
+    fn on_disk_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let plan = recovery_plan(crate::config::Scheme::Raid10, ctx.geometry(), disk, 0, &[]);
+        let bytes = ctx.geometry().data_region();
+        ctx.begin_rebuild(&plan, bytes);
     }
 
     fn on_spin_up(&mut self, _ctx: &mut SimCtx, _disk: DiskId) {}
@@ -107,7 +162,10 @@ impl Policy for Raid10Policy {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         Ok(())
     }

@@ -56,7 +56,12 @@ pub fn simulate_rebuild(
     standby: &[bool],
     rebuild_bytes: u64,
 ) -> RebuildReport {
-    let sources: Vec<usize> = plan.wake.iter().chain(plan.silent.iter()).copied().collect();
+    let sources: Vec<usize> = plan
+        .wake
+        .iter()
+        .chain(plan.silent.iter())
+        .copied()
+        .collect();
     assert!(!sources.is_empty(), "recovery plan has no sources");
     let rng = SimRng::seed_from(cfg.seed ^ 0xfa11);
 
@@ -97,12 +102,12 @@ pub fn simulate_rebuild(
     let mut src_cursor = 0usize;
     let mut copied = 0u64;
     let submit = |disks: &mut Vec<Disk>,
-                      queue: &mut EventQueue<Ev>,
-                      idx: usize,
-                      kind: IoKind,
-                      off: u64,
-                      len: u64,
-                      now: SimTime| {
+                  queue: &mut EventQueue<Ev>,
+                  idx: usize,
+                  kind: IoKind,
+                  off: u64,
+                  len: u64,
+                  now: SimTime| {
         if let Some(w) = disks[idx].submit(
             rolo_disk::DiskRequest::new(0, kind, off, len, Priority::Foreground),
             now,
@@ -120,7 +125,15 @@ pub fn simulate_rebuild(
     // Kick off: first chunk read from the first source (spins it up if
     // needed — the spin-up cost is part of the §III-C story).
     let len = REBUILD_CHUNK.min(rebuild_bytes.max(1));
-    submit(&mut disks, &mut queue, 0, IoKind::Read, 0, len, SimTime::ZERO);
+    submit(
+        &mut disks,
+        &mut queue,
+        0,
+        IoKind::Read,
+        0,
+        len,
+        SimTime::ZERO,
+    );
     let mut awaiting_write = false;
     let mut pending_len = len;
 
@@ -148,7 +161,15 @@ pub fn simulate_rebuild(
                         src_cursor = (src_cursor + 1) % sources.len();
                         let len = REBUILD_CHUNK.min(rebuild_bytes - offset);
                         pending_len = len;
-                        submit(&mut disks, &mut queue, src_cursor, IoKind::Read, offset, len, now);
+                        submit(
+                            &mut disks,
+                            &mut queue,
+                            src_cursor,
+                            IoKind::Read,
+                            offset,
+                            len,
+                            now,
+                        );
                     }
                 } else if !awaiting_write {
                     // Source read done: write the chunk to the replacement.

@@ -129,9 +129,11 @@ pub fn recovery_plan(
                 }
             }
             // For RoLo-R the logger pair's *primary* also holds log
-            // copies, but primaries are active anyway.
+            // copies, but primaries are active anyway — unless the
+            // failed disk is that very primary, which can hardly serve
+            // its own recovery.
             let mut silent = Vec::new();
-            if scheme == Scheme::RoloR {
+            if scheme == Scheme::RoloR && geometry.primary_disk(logger_pair) != failed {
                 silent.push(geometry.primary_disk(logger_pair));
             }
             // The on-duty mirror is already spinning.

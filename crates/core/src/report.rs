@@ -1,5 +1,6 @@
 //! End-of-run simulation report.
 
+use crate::faults::FaultMetrics;
 use crate::policy::PolicyStats;
 use rolo_disk::DiskEnergyReport;
 use rolo_metrics::{PhaseSummary, ResponseStats};
@@ -48,6 +49,12 @@ pub struct SimReport {
     pub power_timeline: Vec<(f64, f64)>,
     /// Scheme-specific counters.
     pub policy: PolicyStats,
+    /// Fault-injection accounting, taken at the end of the run (after
+    /// the drain, so rebuilds finishing post-trace still count).
+    pub faults: FaultMetrics,
+    /// Response times over user requests completed while the array was
+    /// degraded (empty when no fault was injected).
+    pub degraded_responses: ResponseStats,
     /// `Ok` when the end-of-run consistency audit passed.
     pub consistency: Result<(), String>,
 }
@@ -115,6 +122,8 @@ mod tests {
             log_capacity_timeline: Vec::new(),
             power_timeline: Vec::new(),
             policy: PolicyStats::default(),
+            faults: FaultMetrics::default(),
+            degraded_responses: ResponseStats::new(),
             consistency: Ok(()),
         }
     }

@@ -31,9 +31,11 @@
 
 use crate::ctx::SimCtx;
 use crate::dirty::DirtyMap;
+use crate::faults::surviving_partner;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
-use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use crate::recovery::recovery_plan;
+use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
@@ -186,8 +188,8 @@ impl RoloPolicy {
 
     /// Headroom at which the next logger should already be spinning.
     fn spin_up_ahead_bytes(&self) -> u64 {
-        let floor = (self.logger_size as f64
-            * (self.rotate_threshold + SPIN_UP_AHEAD_FRACTION)) as u64;
+        let floor =
+            (self.logger_size as f64 * (self.rotate_threshold + SPIN_UP_AHEAD_FRACTION)) as u64;
         let rate_based = (self.append_rate * self.spin_up_secs * SPIN_UP_AHEAD_FACTOR) as u64;
         floor.max(rate_based).min(self.logger_size)
     }
@@ -240,7 +242,13 @@ impl RoloPolicy {
             .spaces
             .iter()
             .filter(|(_, space)| space.segments().iter().any(|seg| seg.pair == pair))
-            .map(|(&disk, _)| if disk >= self.pairs { disk - self.pairs } else { disk })
+            .map(|(&disk, _)| {
+                if disk >= self.pairs {
+                    disk - self.pairs
+                } else {
+                    disk
+                }
+            })
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -332,7 +340,8 @@ impl RoloPolicy {
         // Close the old logging period, open the next.
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
-            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+            ctx.intervals
+                .end(tok, ctx.now, energy - self.phase_energy_mark);
         }
         self.phase_energy_mark = energy;
         self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
@@ -466,7 +475,13 @@ impl RoloPolicy {
             let p = ctx.geometry().primary_disk(ext.pair);
             let m = ctx.geometry().mirror_disk(ext.pair);
             for d in [p, m] {
-                let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                let id = ctx.submit(
+                    d,
+                    IoKind::Write,
+                    ext.offset,
+                    ext.bytes,
+                    Priority::Foreground,
+                );
                 self.io_map.insert(id, Tag::User(user_id));
                 subs += 1;
             }
@@ -486,9 +501,7 @@ impl Policy for RoloPolicy {
 
     fn initial_standby(&self, disk: DiskId) -> bool {
         // All mirrors except the initial on-duty loggers start spun down.
-        disk >= self.pairs
-            && disk < 2 * self.pairs
-            && !self.loggers.contains(&(disk - self.pairs))
+        disk >= self.pairs && disk < 2 * self.pairs && !self.loggers.contains(&(disk - self.pairs))
     }
 
     fn attach(&mut self, ctx: &mut SimCtx) {
@@ -507,10 +520,16 @@ impl Policy for RoloPolicy {
         match rec.kind {
             ReqKind::Read => {
                 // Primaries are always ACTIVE/IDLE in RoLo-P/R: no
-                // spin-up latency on reads (§III-B1).
+                // spin-up latency on reads (§III-B1). A degraded primary
+                // slot hands its reads to the pair's mirror (§III-C).
                 for ext in &exts {
-                    let p = ctx.geometry().primary_disk(ext.pair);
-                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    let mut d = ctx.geometry().primary_disk(ext.pair);
+                    if ctx.is_degraded(d) {
+                        d = ctx.geometry().mirror_disk(ext.pair);
+                        ctx.note_redirect();
+                    }
+                    let id =
+                        ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                 }
@@ -534,8 +553,13 @@ impl Policy for RoloPolicy {
                     // Primary copies in place.
                     for ext in &exts {
                         let p = ctx.geometry().primary_disk(ext.pair);
-                        let id =
-                            ctx.submit(p, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                        let id = ctx.submit(
+                            p,
+                            IoKind::Write,
+                            ext.offset,
+                            ext.bytes,
+                            Priority::Foreground,
+                        );
                         self.io_map.insert(id, Tag::User(user_id));
                         subs += 1;
                         meta.marks.push((ext.pair, ext.offset, ext.bytes));
@@ -620,6 +644,109 @@ impl Policy for RoloPolicy {
         }
     }
 
+    fn on_io_error(
+        &mut self,
+        ctx: &mut SimCtx,
+        disk: DiskId,
+        req: DiskRequest,
+        outcome: IoOutcome,
+    ) {
+        // User reads hitting a latent sector error or a degraded slot are
+        // re-served by the surviving partner; every other failure closes
+        // through the normal path (the rebuild restores the replacement's
+        // copy).
+        if req.kind == IoKind::Read && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) {
+            if let Some(Tag::User(user)) = self.io_map.get(&req.id).copied() {
+                if let Some(p) =
+                    surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
+                {
+                    self.io_map.remove(&req.id);
+                    ctx.note_redirect();
+                    let id =
+                        ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user));
+                    return;
+                }
+            }
+        }
+        self.on_io_complete(ctx, disk, req);
+    }
+
+    fn on_disk_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let pair = if disk < self.pairs {
+            disk
+        } else {
+            disk - self.pairs
+        };
+        let scheme = match self.flavor {
+            RoloFlavor::Performance => crate::config::Scheme::RoloP,
+            RoloFlavor::Reliability => crate::config::Scheme::RoloR,
+        };
+        // The recovery plan needs the *live* logger history: the pairs
+        // whose unreclaimed log segments hold the failed disk's recent
+        // second copies (§III-C).
+        let recent = self.pairs_holding_copies_of(pair);
+        let plan = recovery_plan(scheme, ctx.geometry(), disk, self.logger_pair(), &recent);
+
+        // Everything logged on the dead disk is gone; its blank
+        // replacement starts with an empty logging space. The in-place
+        // primary copies still cover all of it, so only redundancy was
+        // lost — the per-pair destages restore it below.
+        if let Some(space) = self.spaces.get_mut(&disk) {
+            *space = LoggerSpace::new(self.logger_base, self.logger_size);
+            ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
+        }
+
+        // A dead on-duty logger vacates its window slot immediately:
+        // the next pair rotates in so appends never target the blank
+        // replacement. (For RoLo-P only the mirror serves the slot; for
+        // RoLo-R both halves of the pair do.)
+        let serves_slot = match self.flavor {
+            RoloFlavor::Performance => disk >= self.pairs,
+            RoloFlavor::Reliability => true,
+        };
+        if serves_slot && !self.deactivated {
+            if let Some(slot) = self.loggers.iter().position(|&j| j == pair) {
+                let incoming = self.next_on_duty();
+                self.loggers[slot] = incoming;
+                self.rotation_cursor = (incoming + 1) % self.pairs;
+                self.period += 1;
+                self.stats.rotations += 1;
+                let m = self.mirror(ctx, incoming);
+                ctx.spin_up(m);
+                self.activate_destage(ctx, incoming);
+            }
+        }
+
+        ctx.begin_rebuild(&plan, ctx.geometry().data_region());
+
+        // Restore the pair's redundancy promptly: destage its stale
+        // blocks (this also reclaims every surviving log copy of the
+        // pair once clean). The replacement is already spinning, and a
+        // destage that was waiting on the dead disk's spin-up wake gets
+        // re-kicked here.
+        if !self.dirty[pair].is_clean() {
+            self.activate_destage(ctx, pair);
+        }
+        if self.destage_active[pair] {
+            self.pump(ctx, pair);
+        }
+    }
+
+    fn on_rebuild_complete(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        // A rebuilt off-duty mirror returns to standby.
+        if disk >= self.pairs && disk < 2 * self.pairs {
+            let pair = disk - self.pairs;
+            if !self.loggers.contains(&pair)
+                && !self.destage_active[pair]
+                && !self.deactivated
+                && !self.draining
+            {
+                ctx.spin_down(disk);
+            }
+        }
+    }
+
     fn on_spin_up(&mut self, ctx: &mut SimCtx, disk: DiskId) {
         if disk >= self.pairs && disk < 2 * self.pairs {
             let pair = disk - self.pairs;
@@ -640,7 +767,11 @@ impl Policy for RoloPolicy {
                 self.pump(ctx, pair);
             } else if !self.dirty[pair].is_clean() {
                 self.activate_destage(ctx, pair);
-            } else if self.spaces.values().any(|s| s.segments().iter().any(|g| g.pair == pair)) {
+            } else if self
+                .spaces
+                .values()
+                .any(|s| s.segments().iter().any(|g| g.pair == pair))
+            {
                 // Segments without dirtiness: every covered block is
                 // already consistent; reclaim directly.
                 for space in self.spaces.values_mut() {
@@ -676,7 +807,10 @@ impl Policy for RoloPolicy {
             return Err(format!("{} log bytes unreclaimed", self.log_used_bytes()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         if !self.io_map.is_empty() {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));

@@ -16,9 +16,11 @@
 use crate::cache::BlockCache;
 use crate::ctx::SimCtx;
 use crate::dirty::DirtyMap;
+use crate::faults::surviving_partner;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
-use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use crate::recovery::recovery_plan;
+use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_sim::Duration;
 use rolo_trace::{ReqKind, TraceRecord};
@@ -181,9 +183,15 @@ impl RoloEPolicy {
         self.logger_pairs[self.round_robin % k]
     }
 
-    /// Alternates across all on-duty disks for cache reads/fills.
+    /// Alternates across all on-duty disks for cache reads/fills,
+    /// skipping degraded slots (their replacements hold no log copies
+    /// until rebuilt) whenever a surviving copy-holder exists.
     fn next_logger_disk(&mut self, ctx: &SimCtx) -> DiskId {
-        let disks = self.logger_disks(ctx);
+        let mut disks = self.logger_disks(ctx);
+        disks.retain(|&d| !ctx.is_degraded(d));
+        if disks.is_empty() {
+            disks = self.logger_disks(ctx);
+        }
         self.alternate = !self.alternate;
         self.round_robin = self.round_robin.wrapping_add(1);
         disks[self.round_robin % disks.len()]
@@ -213,7 +221,8 @@ impl RoloEPolicy {
         self.mode = Mode::Destaging;
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
-            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+            ctx.intervals
+                .end(tok, ctx.now, energy - self.phase_energy_mark);
         }
         self.phase_energy_mark = energy;
         self.destaging_token = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
@@ -263,7 +272,8 @@ impl RoloEPolicy {
         ctx.log_timeline.push(ctx.now, 0.0);
         let energy = ctx.total_energy();
         if let Some(tok) = self.destaging_token.take() {
-            ctx.intervals.end(tok, ctx.now, energy - self.phase_energy_mark);
+            ctx.intervals
+                .end(tok, ctx.now, energy - self.phase_energy_mark);
         }
         self.phase_energy_mark = energy;
         self.mode = Mode::Logging;
@@ -301,7 +311,13 @@ impl RoloEPolicy {
             let p = ctx.geometry().primary_disk(ext.pair);
             let m = ctx.geometry().mirror_disk(ext.pair);
             for d in [p, m] {
-                let id = ctx.submit(d, IoKind::Write, ext.offset, ext.bytes, Priority::Foreground);
+                let id = ctx.submit(
+                    d,
+                    IoKind::Write,
+                    ext.offset,
+                    ext.bytes,
+                    Priority::Foreground,
+                );
                 self.io_map.insert(id, Tag::User(user_id));
                 subs += 1;
             }
@@ -356,15 +372,25 @@ impl Policy for RoloEPolicy {
                     self.stats.cache_misses += 1;
                     for ext in &exts {
                         let p = ctx.geometry().primary_disk(ext.pair);
-                        if !ctx.disk(p).is_spun_up() {
+                        let target = if ctx.is_degraded(p) {
+                            ctx.geometry().mirror_disk(ext.pair)
+                        } else {
+                            p
+                        };
+                        if !ctx.disk(target).is_spun_up() {
                             self.stats.read_miss_spinups += 1;
                         }
-                        let id =
-                            ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                        let id = ctx.submit(
+                            target,
+                            IoKind::Read,
+                            ext.offset,
+                            ext.bytes,
+                            Priority::Foreground,
+                        );
                         self.io_map.insert(id, Tag::User(user_id));
                         subs += 1;
-                        // Spin the awakened primary back down once idle.
-                        ctx.set_timer(self.idle_spindown, p as u64);
+                        // Spin the awakened disk back down once idle.
+                        ctx.set_timer(self.idle_spindown, target as u64);
                     }
                     meta.cache_fill = self.blocks_of(rec.offset, rec.bytes).collect();
                     meta.fill_bytes = rec.bytes;
@@ -374,7 +400,18 @@ impl Policy for RoloEPolicy {
                 // Centralized destage in progress: everything is up.
                 for ext in &exts {
                     let p = ctx.geometry().primary_disk(ext.pair);
-                    let id = ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
+                    let target = if ctx.is_degraded(p) {
+                        ctx.geometry().mirror_disk(ext.pair)
+                    } else {
+                        p
+                    };
+                    let id = ctx.submit(
+                        target,
+                        IoKind::Read,
+                        ext.offset,
+                        ext.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(id, Tag::User(user_id));
                     subs += 1;
                 }
@@ -453,8 +490,15 @@ impl Policy for RoloEPolicy {
                             // Writing the fetched blocks into the cache
                             // costs a background write on a logger disk.
                             let d = self.next_logger_disk(ctx);
-                            let off = self.log_read_offset(req.offset / self.stripe_unit, meta.fill_bytes);
-                            let id = ctx.submit(d, IoKind::Write, off, meta.fill_bytes, Priority::Background);
+                            let off = self
+                                .log_read_offset(req.offset / self.stripe_unit, meta.fill_bytes);
+                            let id = ctx.submit(
+                                d,
+                                IoKind::Write,
+                                off,
+                                meta.fill_bytes,
+                                Priority::Background,
+                            );
                             self.io_map.insert(id, Tag::CacheFill);
                         }
                     }
@@ -478,6 +522,83 @@ impl Policy for RoloEPolicy {
                     self.check_destage_done(ctx);
                 }
             }
+        }
+    }
+
+    fn on_io_error(
+        &mut self,
+        ctx: &mut SimCtx,
+        disk: DiskId,
+        req: DiskRequest,
+        outcome: IoOutcome,
+    ) {
+        match self.io_map.get(&req.id).copied() {
+            Some(Tag::User(user))
+                if req.kind == IoKind::Read
+                    && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) =>
+            {
+                // The mirrored copy serves the read the failed slot lost.
+                if let Some(p) =
+                    surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
+                {
+                    self.io_map.remove(&req.id);
+                    ctx.note_redirect();
+                    let id =
+                        ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
+                    self.io_map.insert(id, Tag::User(user));
+                    return;
+                }
+                self.on_io_complete(ctx, disk, req);
+            }
+            Some(Tag::DestageRead { pair, off, len }) => {
+                // Re-fetch the chunk from a surviving logger copy; the
+                // chain must make progress or the destage never ends.
+                self.io_map.remove(&req.id);
+                let src = self.next_logger_disk(ctx);
+                let read_off = self.log_read_offset(off / self.stripe_unit, len);
+                let id = ctx.submit(src, IoKind::Read, read_off, len, Priority::Background);
+                self.io_map.insert(id, Tag::DestageRead { pair, off, len });
+            }
+            // Failed destage/cache-fill writes and write sub-requests just
+            // close their accounting: the rebuild restores the slot.
+            _ => self.on_io_complete(ctx, disk, req),
+        }
+    }
+
+    fn on_disk_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        let pair = if disk < self.pairs {
+            disk
+        } else {
+            disk - self.pairs
+        };
+        let on_duty = self.logger_pairs.contains(&pair);
+        let logger_arg = if on_duty { pair } else { self.logger_pairs[0] };
+        let plan = recovery_plan(
+            crate::config::Scheme::RoloE,
+            ctx.geometry(),
+            disk,
+            logger_arg,
+            &[],
+        );
+        if on_duty && (self.log.used_bytes() > 0 || self.dirty.iter().any(|d| !d.is_clean())) {
+            // Half of the mirrored log died with the disk; flush the
+            // surviving copy so redundancy is restored (and the window
+            // rotates off the degraded pair at the cycle's end).
+            self.start_destage(ctx);
+        }
+        ctx.begin_rebuild(&plan, ctx.geometry().data_region());
+        if self.mode == Mode::Destaging {
+            // A dying disk may have swallowed the spin-up wake its pair's
+            // chain was waiting for.
+            self.pump(ctx, pair);
+            self.check_destage_done(ctx);
+        }
+    }
+
+    fn on_rebuild_complete(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        // Park the rebuilt replacement unless it is on logging duty.
+        if self.mode == Mode::Logging && !self.draining && !self.logger_disks(ctx).contains(&disk) {
+            ctx.spin_down(disk);
         }
     }
 
@@ -540,7 +661,10 @@ impl Policy for RoloEPolicy {
             return Err(format!("{} log bytes unreclaimed", self.log.used_bytes()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         if !self.io_map.is_empty() {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));

@@ -55,7 +55,10 @@ fn raid10_runs_consistently_and_never_spins() {
     let r = run(&cfg, &write_workload(50.0), 120, 1);
     r.consistency.as_ref().expect("consistent");
     assert!(r.user_requests > 4000);
-    assert_eq!(r.spin_cycles, 0, "RAID10 keeps every disk spinning (Table I)");
+    assert_eq!(
+        r.spin_cycles, 0,
+        "RAID10 keeps every disk spinning (Table I)"
+    );
     assert!(r.mean_response_ms() > 0.0);
 }
 

@@ -103,6 +103,25 @@ pub struct CompletionOutcome {
     pub next: Option<DiskWake>,
 }
 
+/// How a sub-request finished. `Ok` is the only outcome the disk itself
+/// produces; the fault-injection layer (see `rolo-core`'s `faults`
+/// module) reclassifies completions to model media errors, transient
+/// timeouts and whole-disk failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOutcome {
+    /// The transfer completed normally.
+    Ok,
+    /// A latent sector error surfaced (unreadable sector): the data is
+    /// lost on this disk, but a redundant copy may exist elsewhere.
+    MediaError,
+    /// The request timed out in the controller (transient path error);
+    /// the request may be retried.
+    Timeout,
+    /// The whole disk failed; every queued and in-flight request on it
+    /// is aborted.
+    DiskDead,
+}
+
 #[derive(Debug, Clone)]
 enum Spindle {
     /// Spun up; `in_service` says whether a transfer is underway.
@@ -111,7 +130,9 @@ enum Spindle {
     Standby,
     SpinningUp,
     /// `then_up` is set if work arrived mid-spin-down.
-    SpinningDown { then_up: bool },
+    SpinningDown {
+        then_up: bool,
+    },
 }
 
 /// Queue-scheduling discipline for foreground requests.
@@ -242,6 +263,8 @@ pub struct Disk {
     last_fg_activity: SimTime,
     scheduler: SchedulerKind,
     stats: DiskIoStats,
+    /// Set by [`Disk::fail_now`]: the disk no longer accepts work.
+    dead: bool,
 }
 
 impl Disk {
@@ -262,6 +285,23 @@ impl Disk {
         rng: SimRng,
         initial: PowerState,
     ) -> Self {
+        Self::with_initial_state_at(id, params, rng, initial, SimTime::ZERO)
+    }
+
+    /// Like [`with_initial_state`](Self::with_initial_state) but the
+    /// energy meter starts counting at `now` — for hot-spare replacements
+    /// installed mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is a transient state.
+    pub fn with_initial_state_at(
+        id: DiskId,
+        params: DiskParams,
+        rng: SimRng,
+        initial: PowerState,
+        now: SimTime,
+    ) -> Self {
         let spindle = match initial {
             PowerState::Idle => Spindle::Ready,
             PowerState::Standby => Spindle::Standby,
@@ -269,7 +309,7 @@ impl Disk {
         };
         Disk {
             id,
-            meter: EnergyMeter::new(&params, initial, SimTime::ZERO),
+            meter: EnergyMeter::new(&params, initial, now),
             service: ServiceModel::new(params.clone(), rng),
             params,
             spindle,
@@ -278,9 +318,10 @@ impl Disk {
             in_service: None,
             pending_park: false,
             bg_idle_guard: Duration::from_millis(50),
-            last_fg_activity: SimTime::ZERO,
+            last_fg_activity: now,
             scheduler: SchedulerKind::default(),
             stats: DiskIoStats::default(),
+            dead: false,
         }
     }
 
@@ -363,6 +404,7 @@ impl Disk {
     /// (service began, or a spin-up was triggered); returns `None` when an
     /// already-scheduled wake will pick the request up.
     pub fn submit(&mut self, req: DiskRequest, now: SimTime) -> Option<DiskWake> {
+        assert!(!self.dead, "submit to dead disk {}", self.id);
         // Fresh work cancels any pending park request.
         self.pending_park = false;
         match req.priority {
@@ -447,7 +489,8 @@ impl Disk {
     /// request entering service, if any.
     pub fn on_spin_up_complete(&mut self, now: SimTime) -> Option<DiskWake> {
         debug_assert!(matches!(self.spindle, Spindle::SpinningUp));
-        self.meter.charge_transition_energy(self.params.spin_up_energy_j);
+        self.meter
+            .charge_transition_energy(self.params.spin_up_energy_j);
         self.meter.transition(PowerState::Idle, now);
         self.spindle = Spindle::Ready;
         self.start_next(now)
@@ -459,9 +502,13 @@ impl Disk {
     pub fn on_spin_down_complete(&mut self, now: SimTime) -> Option<DiskWake> {
         let then_up = match self.spindle {
             Spindle::SpinningDown { then_up } => then_up,
-            _ => panic!("spin-down completion delivered to disk {} not spinning down", self.id),
+            _ => panic!(
+                "spin-down completion delivered to disk {} not spinning down",
+                self.id
+            ),
         };
-        self.meter.charge_transition_energy(self.params.spin_down_energy_j);
+        self.meter
+            .charge_transition_energy(self.params.spin_down_energy_j);
         self.meter.transition(PowerState::Standby, now);
         self.spindle = Spindle::Standby;
         if then_up || self.queue_len() > 0 {
@@ -582,6 +629,35 @@ impl Disk {
         self.scheduler = scheduler;
     }
 
+    /// True after [`fail_now`](Self::fail_now): the disk accepts no work.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Kills the disk at `now`: the spindle stops, the energy meter
+    /// freezes (a failed drive is powered off), and every queued and
+    /// in-flight request is aborted and returned so the owner can fail
+    /// them upward with [`IoOutcome::DiskDead`]. Any wake already
+    /// scheduled for this disk must be discarded by the owner.
+    pub fn fail_now(&mut self, now: SimTime) -> Vec<DiskRequest> {
+        self.dead = true;
+        self.pending_park = false;
+        // Freeze residency accounting in Standby: a dead disk spins no
+        // platters. (Owners normally retire the meter at this instant and
+        // swap in a hot spare, so this only matters for standalone use.)
+        if self.meter.state() != PowerState::Standby {
+            self.meter.transition(PowerState::Standby, now);
+        }
+        self.spindle = Spindle::Standby;
+        let mut aborted: Vec<DiskRequest> = Vec::new();
+        if let Some((req, _)) = self.in_service.take() {
+            aborted.push(req);
+        }
+        aborted.extend(self.foreground.drain(..));
+        aborted.extend(self.background.drain(..));
+        aborted
+    }
+
     /// Delivers a deferred-background retry: attempts to dispatch queued
     /// background work if the disk is still free.
     pub fn on_bg_retry(&mut self, now: SimTime) -> Option<DiskWake> {
@@ -657,7 +733,10 @@ mod tests {
         let o1 = d.on_io_complete(w.due());
         assert_eq!(o1.completed.id, 10);
         let o2 = d.on_io_complete(o1.next.unwrap().due());
-        assert_eq!(o2.completed.id, 1, "foreground must run before queued background");
+        assert_eq!(
+            o2.completed.id, 1,
+            "foreground must run before queued background"
+        );
         // The remaining background request waits out the idle guard.
         let retry = o2.next.unwrap();
         assert!(matches!(retry, DiskWake::BgRetry(_)));
@@ -678,9 +757,14 @@ mod tests {
         let DiskWake::SpinUp(t) = wake else {
             panic!("expected spin-up wake")
         };
-        assert_eq!(t, SimTime::ZERO + DiskParams::ultrastar_36z15().spin_up_time);
+        assert_eq!(
+            t,
+            SimTime::ZERO + DiskParams::ultrastar_36z15().spin_up_time
+        );
         assert_eq!(d.io_stats().spin_up_faults, 1);
-        let io = d.on_spin_up_complete(t).expect("queued io starts after spin-up");
+        let io = d
+            .on_spin_up_complete(t)
+            .expect("queued io starts after spin-up");
         let out = d.on_io_complete(io.due());
         assert_eq!(out.completed.id, 1);
         // Spin-up latency dominates: > 10.9 s.
@@ -696,8 +780,12 @@ mod tests {
             panic!()
         };
         // Request arrives mid-spin-down.
-        assert!(d.submit(fg(1, 0, 4096), SimTime::from_millis(500)).is_none());
-        let up = d.on_spin_down_complete(t_down).expect("must bounce back up");
+        assert!(d
+            .submit(fg(1, 0, 4096), SimTime::from_millis(500))
+            .is_none());
+        let up = d
+            .on_spin_down_complete(t_down)
+            .expect("must bounce back up");
         let DiskWake::SpinUp(t_up) = up else { panic!() };
         let io = d.on_spin_up_complete(t_up).unwrap();
         let out = d.on_io_complete(io.due());
@@ -762,10 +850,12 @@ mod tests {
         let mut d = disk(10);
         let mut t = SimTime::ZERO;
         for i in 0..50u64 {
-            let w = d.submit(fg(i, (i * 997 * 4096) % (16 << 30), 16 * 1024), t).unwrap();
+            let w = d
+                .submit(fg(i, (i * 997 * 4096) % (16 << 30), 16 * 1024), t)
+                .unwrap();
             t = w.due();
             d.on_io_complete(t);
-            t = t + Duration::from_millis(7);
+            t += Duration::from_millis(7);
         }
         let rep = d.energy_report(t);
         assert_eq!(rep.total_time(), t.since(SimTime::ZERO));
@@ -834,6 +924,41 @@ mod tests {
     }
 
     #[test]
+    fn fail_now_aborts_all_queued_work() {
+        let mut d = disk(17);
+        d.submit(fg(1, 0, 4096), SimTime::ZERO);
+        d.submit(fg(2, 8192, 4096), SimTime::ZERO);
+        d.submit(bg(3, 1 << 20, 4096), SimTime::ZERO);
+        let aborted = d.fail_now(SimTime::from_millis(1));
+        assert_eq!(aborted.len(), 3, "in-service + queued all aborted");
+        assert!(d.is_dead());
+        assert!(!d.is_busy());
+        assert_eq!(d.power_state(), PowerState::Standby);
+    }
+
+    #[test]
+    #[should_panic(expected = "submit to dead disk")]
+    fn dead_disk_rejects_submissions() {
+        let mut d = disk(18);
+        d.fail_now(SimTime::ZERO);
+        d.submit(fg(1, 0, 4096), SimTime::ZERO);
+    }
+
+    #[test]
+    fn spare_meter_starts_at_install_time() {
+        let t = SimTime::from_secs(100);
+        let d = Disk::with_initial_state_at(
+            0,
+            DiskParams::ultrastar_36z15(),
+            SimRng::seed_from(19),
+            PowerState::Idle,
+            t,
+        );
+        let rep = d.energy_report(SimTime::from_secs(110));
+        assert_eq!(rep.total_time(), Duration::from_secs(10));
+    }
+
+    #[test]
     fn explicit_spin_up_cancels_park() {
         let mut d = disk(15);
         let w = d.submit(fg(1, 0, 4096), SimTime::ZERO).unwrap();
@@ -862,7 +987,7 @@ mod idle_gap_tests {
                 .unwrap();
             t = w.due();
             d.on_io_complete(t);
-            t = t + Duration::from_millis(20); // 20 ms idle slots
+            t += Duration::from_millis(20); // 20 ms idle slots
         }
         let h = d.io_stats().idle_gaps;
         // The first request finds the disk idle since t=0 (one long-ish
@@ -975,11 +1100,8 @@ mod queue_depth_tests {
         assert_eq!(d.io_stats().max_queue_depth, 5);
         // Drain.
         let mut t = wake.unwrap().due();
-        loop {
-            match d.on_io_complete(t).next {
-                Some(w) => t = w.due(),
-                None => break,
-            }
+        while let Some(w) = d.on_io_complete(t).next {
+            t = w.due();
         }
         assert_eq!(d.io_stats().max_queue_depth, 5, "high-water mark persists");
     }

@@ -39,7 +39,10 @@ pub mod params;
 pub mod power;
 pub mod service;
 
-pub use disk::{CompletionOutcome, Disk, DiskIoStats, DiskRequest, DiskWake, IdleGapHistogram, IoKind, Priority, SchedulerKind};
+pub use disk::{
+    CompletionOutcome, Disk, DiskIoStats, DiskRequest, DiskWake, IdleGapHistogram, IoKind,
+    IoOutcome, Priority, SchedulerKind,
+};
 pub use params::DiskParams;
 pub use power::{DiskEnergyReport, EnergyMeter, PowerState};
 pub use service::ServiceModel;

@@ -132,7 +132,10 @@ impl EnergyMeter {
     /// Panics in debug builds if `now` precedes the current state's entry
     /// time.
     pub fn transition(&mut self, next: PowerState, now: SimTime) {
-        debug_assert!(now >= self.state_since, "time went backwards in EnergyMeter");
+        debug_assert!(
+            now >= self.state_since,
+            "time went backwards in EnergyMeter"
+        );
         let held = now.since(self.state_since);
         let idx = state_index(self.state);
         self.residency[idx] += held;

@@ -202,7 +202,10 @@ mod tests {
         assert!((t.interval_ratio(Phase::Destaging) - 0.2).abs() < 1e-9);
         assert!((t.energy_ratio(Phase::Destaging) - 400.0 * 2.0 / 2400.0).abs() < 1e-9);
         assert_eq!(t.summary(Phase::Logging).spans, 2);
-        assert_eq!(t.mean_span(Phase::Destaging).unwrap(), Duration::from_secs(20));
+        assert_eq!(
+            t.mean_span(Phase::Destaging).unwrap(),
+            Duration::from_secs(20)
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         t.end(a, SimTime::from_secs(10), 0.0);
         t.end(b, SimTime::from_secs(12), 0.0);
         // Merged residency is 12 s, not 17 s.
-        assert_eq!(t.summary(Phase::Destaging).residency, Duration::from_secs(12));
+        assert_eq!(
+            t.summary(Phase::Destaging).residency,
+            Duration::from_secs(12)
+        );
     }
 
     #[test]
@@ -223,7 +229,10 @@ mod tests {
         t.end(a, SimTime::from_secs(3), 0.0);
         let b = t.begin(Phase::Destaging, SimTime::from_secs(10));
         t.end(b, SimTime::from_secs(14), 0.0);
-        assert_eq!(t.summary(Phase::Destaging).residency, Duration::from_secs(7));
+        assert_eq!(
+            t.summary(Phase::Destaging).residency,
+            Duration::from_secs(7)
+        );
     }
 
     #[test]

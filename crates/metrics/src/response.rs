@@ -169,9 +169,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), all.count());
         assert!((a.mean_ms() - all.mean_ms()).abs() < 1e-9);
-        assert!(
-            (a.stddev().as_micros() as f64 - all.stddev().as_micros() as f64).abs() <= 1.0
-        );
+        assert!((a.stddev().as_micros() as f64 - all.stddev().as_micros() as f64).abs() <= 1.0);
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl Policy for Raid5Policy {
             ReqKind::Read => {
                 ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in exts {
-                    let id = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    let id = ctx.submit(
+                        e.data_disk,
+                        IoKind::Read,
+                        e.offset,
+                        e.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(id, Tag::User(user_id));
                 }
             }
@@ -103,9 +109,21 @@ impl Policy for Raid5Policy {
                             writes_left: 2,
                         },
                     );
-                    let r1 = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    let r1 = ctx.submit(
+                        e.data_disk,
+                        IoKind::Read,
+                        e.offset,
+                        e.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(r1, Tag::ChainRead(chain));
-                    let r2 = ctx.submit(e.parity_disk, IoKind::Read, e.parity_offset, e.bytes, Priority::Foreground);
+                    let r2 = ctx.submit(
+                        e.parity_disk,
+                        IoKind::Read,
+                        e.parity_offset,
+                        e.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(r2, Tag::ChainRead(chain));
                 }
             }
@@ -167,7 +185,10 @@ impl Policy for Raid5Policy {
             return Err(format!("{} orphaned sub-requests", self.io_map.len()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         Ok(())
     }

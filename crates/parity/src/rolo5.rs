@@ -26,8 +26,15 @@ enum Tag {
     ChainWrite(u64),
     /// Background flush of NVRAM-staged deltas to the log.
     NvramFlush,
-    DestageRead { disk: usize, off: u64, len: u64 },
-    DestageWrite { disk: usize, len: u64 },
+    DestageRead {
+        disk: usize,
+        off: u64,
+        len: u64,
+    },
+    DestageWrite {
+        disk: usize,
+        len: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -103,7 +110,14 @@ impl Rolo5Policy {
         rotate_threshold: f64,
         chunk: u64,
     ) -> Self {
-        Self::with_loggers(geometry, logger_base, logger_size, rotate_threshold, chunk, 2)
+        Self::with_loggers(
+            geometry,
+            logger_base,
+            logger_size,
+            rotate_threshold,
+            chunk,
+            2,
+        )
     }
 
     /// Creates a RoLo-5 controller with `on_duty` simultaneous loggers.
@@ -121,7 +135,10 @@ impl Rolo5Policy {
     ) -> Self {
         assert!(logger_size > 0, "zero logger region");
         let disks = geometry.disks();
-        assert!(on_duty >= 1 && on_duty < disks, "on-duty window out of range");
+        assert!(
+            on_duty >= 1 && on_duty < disks,
+            "on-duty window out of range"
+        );
         Rolo5Policy {
             geometry,
             loggers: (0..on_duty).collect(),
@@ -207,7 +224,13 @@ impl Rolo5Policy {
                 .alloc(len, pd, self.period)
                 .expect("picked logger has space");
             for seg in segs {
-                let id = ctx.submit(target, IoKind::Write, seg.offset, seg.bytes, Priority::Background);
+                let id = ctx.submit(
+                    target,
+                    IoKind::Write,
+                    seg.offset,
+                    seg.bytes,
+                    Priority::Background,
+                );
                 self.io_map.insert(id, Tag::NvramFlush);
                 self.stats.log_appended_bytes += seg.bytes;
             }
@@ -278,9 +301,8 @@ impl Rolo5Policy {
                 self.reclaim_for_quiet(d);
             }
         }
-        let replacement = (0..self.geometry.disks()).find(|d| {
-            !self.loggers.contains(d) && self.spaces[*d].used_bytes() == 0
-        });
+        let replacement = (0..self.geometry.disks())
+            .find(|d| !self.loggers.contains(d) && self.spaces[*d].used_bytes() == 0);
         let Some(new_disk) = replacement else {
             return false;
         };
@@ -459,7 +481,13 @@ impl Policy for Rolo5Policy {
             ReqKind::Read => {
                 ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in exts {
-                    let id = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    let id = ctx.submit(
+                        e.data_disk,
+                        IoKind::Read,
+                        e.offset,
+                        e.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(id, Tag::User(user_id));
                 }
             }
@@ -497,12 +525,24 @@ impl Policy for Rolo5Policy {
                     );
                     // Phase 1: read old data (always); plus old parity when
                     // falling back to the in-place RMW.
-                    let r1 = ctx.submit(e.data_disk, IoKind::Read, e.offset, e.bytes, Priority::Foreground);
+                    let r1 = ctx.submit(
+                        e.data_disk,
+                        IoKind::Read,
+                        e.offset,
+                        e.bytes,
+                        Priority::Foreground,
+                    );
                     self.io_map.insert(r1, Tag::ChainRead(chain_id));
                     let chain = self.chains.get_mut(&chain_id).expect("just inserted");
                     chain.writes_left = 1; // reads pending marker reused below
                     if direct {
-                        let r2 = ctx.submit(e.parity_disk, IoKind::Read, e.parity_offset, e.bytes, Priority::Foreground);
+                        let r2 = ctx.submit(
+                            e.parity_disk,
+                            IoKind::Read,
+                            e.parity_offset,
+                            e.bytes,
+                            Priority::Foreground,
+                        );
                         self.io_map.insert(r2, Tag::ChainRead(chain_id));
                         chain.writes_left = 2;
                         self.stats.direct_writes += 1;
@@ -572,7 +612,13 @@ impl Policy for Rolo5Policy {
                     let w1 = ctx.submit(dd, IoKind::Write, doff, len, Priority::Foreground);
                     self.io_map.insert(w1, Tag::ChainWrite(chain_id));
                     for seg in segs {
-                        let id = ctx.submit(log_target, IoKind::Write, seg.offset, seg.bytes, Priority::Foreground);
+                        let id = ctx.submit(
+                            log_target,
+                            IoKind::Write,
+                            seg.offset,
+                            seg.bytes,
+                            Priority::Foreground,
+                        );
                         self.io_map.insert(id, Tag::ChainWrite(chain_id));
                         self.stats.log_appended_bytes += seg.bytes;
                     }
@@ -593,7 +639,10 @@ impl Policy for Rolo5Policy {
                     if direct {
                         // Parity freshly rewritten in place.
                         self.dirty[pd].clear_range(moff, mlen);
-                        if self.destage_active[pd] && self.dirty[pd].is_clean() && !self.chain_busy[pd] {
+                        if self.destage_active[pd]
+                            && self.dirty[pd].is_clean()
+                            && !self.chain_busy[pd]
+                        {
                             self.complete_destage(ctx, pd);
                         }
                     } else {
@@ -667,13 +716,19 @@ impl Policy for Rolo5Policy {
             return Err(format!("{} delta bytes unreclaimed", self.log_used_bytes()));
         }
         if self.nvram_pending_bytes != 0 {
-            return Err(format!("{} NVRAM bytes unflushed", self.nvram_pending_bytes));
+            return Err(format!(
+                "{} NVRAM bytes unflushed",
+                self.nvram_pending_bytes
+            ));
         }
         if !self.chains.is_empty() {
             return Err(format!("{} chains still open", self.chains.len()));
         }
         if ctx.outstanding_users() != 0 {
-            return Err(format!("{} user requests unfinished", ctx.outstanding_users()));
+            return Err(format!(
+                "{} user requests unfinished",
+                ctx.outstanding_users()
+            ));
         }
         Ok(())
     }

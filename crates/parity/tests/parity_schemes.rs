@@ -39,7 +39,12 @@ fn raid5_serves_and_stays_consistent() {
     let cfg = cfg();
     let dur = Duration::from_secs(300);
     let wl = workload(60.0, 0.8);
-    let report = run_trace(&cfg, wl.generator(dur, 1), Raid5Policy::new(geometry(&cfg)), dur);
+    let report = run_trace(
+        &cfg,
+        wl.generator(dur, 1),
+        Raid5Policy::new(geometry(&cfg)),
+        dur,
+    );
     report.consistency.as_ref().expect("consistent");
     assert!(report.user_requests > 10_000);
     assert_eq!(report.scheme, "RAID5");
@@ -52,7 +57,13 @@ fn rolo5_consistent_and_reclaims() {
     let geo = geometry(&cfg);
     let dur = Duration::from_secs(600);
     let wl = workload(60.0, 1.0);
-    let policy = Rolo5Policy::new(geo.clone(), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024);
+    let policy = Rolo5Policy::new(
+        geo.clone(),
+        cfg.data_region(),
+        cfg.logger_region,
+        0.02,
+        64 * 1024,
+    );
     let report = run_trace(&cfg, wl.generator(dur, 2), policy, dur);
     report.consistency.as_ref().expect("consistent");
     assert!(report.policy.rotations > 0, "logger must rotate");
@@ -71,11 +82,22 @@ fn rolo5_spends_less_disk_time_than_raid5() {
     let cfg = cfg();
     let dur = Duration::from_secs(400);
     let wl = workload(150.0, 1.0);
-    let base = run_trace(&cfg, wl.generator(dur, 3), Raid5Policy::new(geometry(&cfg)), dur);
+    let base = run_trace(
+        &cfg,
+        wl.generator(dur, 3),
+        Raid5Policy::new(geometry(&cfg)),
+        dur,
+    );
     let rolo = run_trace(
         &cfg,
         wl.generator(dur, 3),
-        Rolo5Policy::new(geometry(&cfg), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024),
+        Rolo5Policy::new(
+            geometry(&cfg),
+            cfg.data_region(),
+            cfg.logger_region,
+            0.02,
+            64 * 1024,
+        ),
         dur,
     );
     base.consistency.as_ref().expect("raid5 consistent");
@@ -101,11 +123,22 @@ fn rolo5_survives_overload_by_deactivating() {
     cfg.logger_region = 8 << 20;
     let dur = Duration::from_secs(120);
     let wl = workload(400.0, 1.0);
-    let policy = Rolo5Policy::new(geometry(&cfg), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024);
+    let policy = Rolo5Policy::new(
+        geometry(&cfg),
+        cfg.data_region(),
+        cfg.logger_region,
+        0.02,
+        64 * 1024,
+    );
     let report = run_trace(&cfg, wl.generator(dur, 4), policy, dur);
-    report.consistency.as_ref().expect("consistent after overload");
+    report
+        .consistency
+        .as_ref()
+        .expect("consistent after overload");
     assert!(
-        report.policy.deactivations > 0 || report.policy.direct_writes > 0 || report.policy.rotations > 5,
+        report.policy.deactivations > 0
+            || report.policy.direct_writes > 0
+            || report.policy.rotations > 5,
         "overload must trigger fallback behaviour: {:?}",
         report.policy
     );
@@ -120,7 +153,13 @@ fn rolo5_deterministic() {
         run_trace(
             &cfg,
             wl.generator(dur, seed),
-            Rolo5Policy::new(geometry(&cfg), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024),
+            Rolo5Policy::new(
+                geometry(&cfg),
+                cfg.data_region(),
+                cfg.logger_region,
+                0.02,
+                64 * 1024,
+            ),
             dur,
         )
     };
@@ -136,8 +175,13 @@ fn mixed_read_write_consistency() {
     let dur = Duration::from_secs(300);
     for write_ratio in [0.2, 0.5, 0.95] {
         let wl = workload(40.0, write_ratio);
-        let policy =
-            Rolo5Policy::new(geometry(&cfg), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024);
+        let policy = Rolo5Policy::new(
+            geometry(&cfg),
+            cfg.data_region(),
+            cfg.logger_region,
+            0.02,
+            64 * 1024,
+        );
         let report = run_trace(&cfg, wl.generator(dur, 11), policy, dur);
         report
             .consistency
@@ -155,7 +199,12 @@ fn nvram_staging_beats_raid5_on_latency_too() {
     let cfg = cfg();
     let dur = Duration::from_secs(400);
     let wl = workload(150.0, 1.0);
-    let base = run_trace(&cfg, wl.generator(dur, 13), Raid5Policy::new(geometry(&cfg)), dur);
+    let base = run_trace(
+        &cfg,
+        wl.generator(dur, 13),
+        Raid5Policy::new(geometry(&cfg)),
+        dur,
+    );
     let mut p = Rolo5Policy::with_loggers(
         geometry(&cfg),
         cfg.data_region(),
@@ -174,5 +223,8 @@ fn nvram_staging_beats_raid5_on_latency_too() {
         nv.write_responses.mean(),
         base.write_responses.mean()
     );
-    assert!(nv.policy.log_appended_bytes > 0, "deltas still reach the log");
+    assert!(
+        nv.policy.log_appended_bytes > 0,
+        "deltas still reach the log"
+    );
 }

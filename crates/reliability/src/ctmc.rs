@@ -142,9 +142,13 @@ impl MarkovChain {
         // Gaussian elimination with partial pivoting.
         let mut perm: Vec<usize> = (0..n).collect();
         for col in 0..n {
-            let (pivot_row, pivot_val) = (col..n)
-                .map(|r| (r, a[perm[r] * n + col].abs()))
-                .fold((col, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            let (pivot_row, pivot_val) =
+                (col..n)
+                    .map(|r| (r, a[perm[r] * n + col].abs()))
+                    .fold(
+                        (col, 0.0),
+                        |best, cur| if cur.1 > best.1 { cur } else { best },
+                    );
             if pivot_val < 1e-300 {
                 return Err(CtmcError::NotAbsorbing);
             }

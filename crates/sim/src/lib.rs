@@ -27,6 +27,7 @@
 
 pub mod queue;
 pub mod rng;
+pub mod schedule;
 pub mod time;
 
 pub use queue::{EventQueue, ScheduledEvent};

@@ -81,7 +81,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not finite and positive.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "invalid exponential mean: {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean: {mean}"
+        );
         let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
         -mean * u.ln()
     }
@@ -147,7 +150,10 @@ mod tests {
         let mean = 5.0;
         let total: f64 = (0..n).map(|_| rng.exp(mean)).sum();
         let sample_mean = total / n as f64;
-        assert!((sample_mean - mean).abs() < 0.2, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.2,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + Duration::from_secs(2);
 /// assert_eq!(t.as_micros(), 2_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 3_500);
 /// assert!((d.as_secs_f64() - 0.0035).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -364,6 +368,9 @@ mod tests {
     #[test]
     fn saturating_behaviour_at_extremes() {
         assert_eq!(SimTime::MAX + Duration::from_secs(1), SimTime::MAX);
-        assert_eq!(Duration::ZERO.saturating_sub(Duration::from_secs(1)), Duration::ZERO);
+        assert_eq!(
+            Duration::ZERO.saturating_sub(Duration::from_secs(1)),
+            Duration::ZERO
+        );
     }
 }

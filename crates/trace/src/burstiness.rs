@@ -82,7 +82,11 @@ pub fn measure(records: &[TraceRecord], window: Duration) -> Option<Burstiness> 
         .collect();
     let gmean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let gvar = gaps.iter().map(|g| (g - gmean).powi(2)).sum::<f64>() / gaps.len() as f64;
-    let cv2 = if gmean > 0.0 { gvar / (gmean * gmean) } else { 0.0 };
+    let cv2 = if gmean > 0.0 {
+        gvar / (gmean * gmean)
+    } else {
+        0.0
+    };
 
     Some(Burstiness {
         index_of_dispersion: idc,

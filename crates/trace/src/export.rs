@@ -45,14 +45,21 @@ pub fn export_msr_csv<W: Write>(
     hostname: &str,
     mut out: W,
 ) -> io::Result<()> {
-    writeln!(out, "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime")?;
+    writeln!(
+        out,
+        "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"
+    )?;
     for r in records {
         let ticks = BASE_TICKS + r.arrival.as_micros() * 10;
         let kind = match r.kind {
             ReqKind::Read => "Read",
             ReqKind::Write => "Write",
         };
-        writeln!(out, "{ticks},{hostname},0,{kind},{},{},0", r.offset, r.bytes)?;
+        writeln!(
+            out,
+            "{ticks},{hostname},0,{kind},{},{},0",
+            r.offset, r.bytes
+        )?;
     }
     Ok(())
 }
@@ -76,9 +83,10 @@ mod tests {
         let origin = recs[0].arrival;
         assert_eq!(back.len(), recs.len());
         for (a, b) in recs.iter().zip(&back) {
-            assert_eq!(b.arrival, rolo_sim::SimTime::from_micros(
-                a.arrival.as_micros() - origin.as_micros()
-            ));
+            assert_eq!(
+                b.arrival,
+                rolo_sim::SimTime::from_micros(a.arrival.as_micros() - origin.as_micros())
+            );
             assert_eq!((b.kind, b.offset, b.bytes), (a.kind, a.offset, a.bytes));
         }
     }

@@ -133,7 +133,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<(u64, ReqKind, u64, u64), Msr
         .parse()
         .map_err(|_| malformed("unparseable timestamp"))?;
     let _host = fields.next().ok_or_else(|| malformed("missing hostname"))?;
-    let _disk = fields.next().ok_or_else(|| malformed("missing disk number"))?;
+    let _disk = fields
+        .next()
+        .ok_or_else(|| malformed("missing disk number"))?;
     let kind = match fields
         .next()
         .ok_or_else(|| malformed("missing request type"))?

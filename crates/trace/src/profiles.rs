@@ -318,7 +318,10 @@ mod tests {
     #[test]
     fn generated_volume_matches_calibration() {
         let p = proj_0();
-        let dur = Duration::from_secs(20_000);
+        // Long enough that the ON/OFF arrival process averages out: at
+        // 20 000 s the realized volume is still dominated by a handful
+        // of bursts and the error is seed-dependent (up to ~25%).
+        let dur = Duration::from_secs(120_000);
         let recs: Vec<_> = p.generator(dur, 17).collect();
         let stats = TraceStats::from_records(&recs, dur);
         let expect = p.write_volume(dur) as f64;

@@ -55,7 +55,11 @@ impl TraceStats {
         let secs = duration.as_secs_f64();
         TraceStats {
             requests: n,
-            write_ratio: if n == 0 { 0.0 } else { writes as f64 / n as f64 },
+            write_ratio: if n == 0 {
+                0.0
+            } else {
+                writes as f64 / n as f64
+            },
             iops: if secs == 0.0 { 0.0 } else { n as f64 / secs },
             avg_req_bytes: if n == 0 {
                 0.0

@@ -170,8 +170,14 @@ impl SyntheticConfig {
             "read_hot_fraction out of range"
         );
         assert!(self.align > 0, "alignment must be positive");
-        assert!(self.write_footprint >= self.align, "write footprint too small");
-        assert!(self.read_footprint >= self.align, "read footprint too small");
+        assert!(
+            self.write_footprint >= self.align,
+            "write footprint too small"
+        );
+        assert!(
+            self.read_footprint >= self.align,
+            "read footprint too small"
+        );
         assert!(self.hot_set_bytes >= self.align, "hot set too small");
         assert!(
             self.batch_mean >= 1.0 && self.batch_mean.is_finite(),
@@ -307,7 +313,11 @@ impl SyntheticTrace {
             self.rng.below((fp / self.cfg.align).max(1)) * self.cfg.align
         };
         let offset = if offset + bytes > fp { 0 } else { offset };
-        self.write_cursor = if offset + bytes >= fp { 0 } else { offset + bytes };
+        self.write_cursor = if offset + bytes >= fp {
+            0
+        } else {
+            offset + bytes
+        };
         offset
     }
 
@@ -395,18 +405,14 @@ mod tests {
 
     #[test]
     fn rate_is_calibrated() {
-        let recs: Vec<_> = base_cfg()
-            .generator(Duration::from_secs(2000), 1)
-            .collect();
+        let recs: Vec<_> = base_cfg().generator(Duration::from_secs(2000), 1).collect();
         let rate = recs.len() as f64 / 2000.0;
         assert!((rate - 50.0).abs() < 2.5, "rate {rate}");
     }
 
     #[test]
     fn write_ratio_is_calibrated() {
-        let recs: Vec<_> = base_cfg()
-            .generator(Duration::from_secs(2000), 2)
-            .collect();
+        let recs: Vec<_> = base_cfg().generator(Duration::from_secs(2000), 2).collect();
         let writes = recs.iter().filter(|r| r.kind.is_write()).count();
         let ratio = writes as f64 / recs.len() as f64;
         assert!((ratio - 0.8).abs() < 0.03, "ratio {ratio}");
@@ -450,9 +456,7 @@ mod tests {
 
     #[test]
     fn offsets_stay_in_footprint() {
-        let recs: Vec<_> = base_cfg()
-            .generator(Duration::from_secs(500), 5)
-            .collect();
+        let recs: Vec<_> = base_cfg().generator(Duration::from_secs(500), 5).collect();
         for r in &recs {
             if r.kind.is_write() {
                 assert!(r.end() <= 1 << 30, "{r:?}");
@@ -514,7 +518,7 @@ mod tests {
         for _ in 0..100 {
             let s = u.sample(&mut rng, 4096);
             assert_eq!(s % 4096, 0);
-            assert!(s >= 4096 && s <= 131072);
+            assert!((4096..=131072).contains(&s));
         }
     }
 

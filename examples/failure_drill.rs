@@ -9,7 +9,10 @@ use rolo::core::{rebuild_primary_failure, recovery_plan, Scheme, SimConfig};
 
 fn main() {
     let pairs = 20;
-    println!("failure drill: primary disk P0 fails on a {}-disk array\n", pairs * 2);
+    println!(
+        "failure drill: primary disk P0 fails on a {}-disk array\n",
+        pairs * 2
+    );
 
     println!("step 1 — §III-C recovery plans (who participates):");
     for scheme in Scheme::all() {

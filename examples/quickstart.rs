@@ -28,7 +28,11 @@ fn main() {
     println!("mean response    : {:.2} ms", report.mean_response_ms());
     println!(
         "p99 response     : {:.2} ms",
-        report.responses.percentile(99.0).map(|d| d.as_millis_f64()).unwrap_or(0.0)
+        report
+            .responses
+            .percentile(99.0)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0)
     );
     println!("energy           : {:.1} kJ", report.total_energy_j / 1e3);
     println!("logger rotations : {}", report.policy.rotations);

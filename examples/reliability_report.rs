@@ -30,7 +30,10 @@ fn main() {
     // The combined measure: derate lambda by observed spin cycles
     // (Table I's weekly counts, annualised).
     println!("\nwith spin-cycle derating (Table I weekly spin counts, annualised,");
-    println!("rated {} cycles/year):\n", spin::DEFAULT_RATED_CYCLES_PER_YEAR);
+    println!(
+        "rated {} cycles/year):\n",
+        spin::DEFAULT_RATED_CYCLES_PER_YEAR
+    );
     let mu = closed_form::mttr_days_to_mu(3.0);
     let cases = [
         ("RAID10", 0u64, closed_form::raid10_4 as fn(f64, f64) -> f64),

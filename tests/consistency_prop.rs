@@ -7,13 +7,7 @@ use rolo::core::{Scheme, SimConfig};
 use rolo::sim::Duration;
 use rolo::trace::{Burstiness, SizeDist, SyntheticConfig};
 
-fn workload(
-    iops: f64,
-    write_ratio: f64,
-    req_kib: u64,
-    seq: f64,
-    bursty: bool,
-) -> SyntheticConfig {
+fn workload(iops: f64, write_ratio: f64, req_kib: u64, seq: f64, bursty: bool) -> SyntheticConfig {
     SyntheticConfig {
         iops,
         write_ratio,
@@ -61,7 +55,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         max_shrink_iters: 0,
-        ..ProptestConfig::default()
     })]
 
     #[test]
@@ -129,27 +122,28 @@ mod parity {
     use super::*;
     use rolo_parity::{Raid5Geometry, Raid5Policy, Rolo5Policy};
 
-    fn parity_check(
-        nvram: bool,
-        wl: &SyntheticConfig,
-        seed: u64,
-    ) -> Result<(), TestCaseError> {
+    fn parity_check(nvram: bool, wl: &SyntheticConfig, seed: u64) -> Result<(), TestCaseError> {
         let mut cfg = SimConfig::paper_default(Scheme::Raid10, 3);
         cfg.logger_region = 32 << 20;
         let geo = Raid5Geometry::new(cfg.disk_count(), cfg.stripe_unit, cfg.data_region());
         let dur = Duration::from_secs(120);
-        let mut p = Rolo5Policy::new(geo.clone(), cfg.data_region(), cfg.logger_region, 0.02, 64 * 1024);
+        let mut p = Rolo5Policy::new(
+            geo.clone(),
+            cfg.data_region(),
+            cfg.logger_region,
+            0.02,
+            64 * 1024,
+        );
         if nvram {
             p.enable_nvram(1 << 20);
         }
         let report = rolo::core::run_trace(&cfg, wl.generator(dur, seed), p, dur);
-        prop_assert!(report.consistency.is_ok(), "rolo5: {:?}", report.consistency);
-        let base = rolo::core::run_trace(
-            &cfg,
-            wl.generator(dur, seed),
-            Raid5Policy::new(geo),
-            dur,
+        prop_assert!(
+            report.consistency.is_ok(),
+            "rolo5: {:?}",
+            report.consistency
         );
+        let base = rolo::core::run_trace(&cfg, wl.generator(dur, seed), Raid5Policy::new(geo), dur);
         prop_assert!(base.consistency.is_ok(), "raid5: {:?}", base.consistency);
         prop_assert_eq!(base.user_requests, report.user_requests);
         Ok(())
@@ -159,7 +153,6 @@ mod parity {
         #![proptest_config(ProptestConfig {
             cases: 10,
             max_shrink_iters: 0,
-            ..ProptestConfig::default()
         })]
 
         #[test]

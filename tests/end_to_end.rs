@@ -80,7 +80,7 @@ fn recovery_plan_uses_live_policy_state() {
     // copies, and be far fewer than GRAID's full set.
     let cfg = small_cfg(Scheme::RoloP);
     let geo = cfg.geometry().unwrap();
-    let mut policy = RoloPolicy::new(
+    let policy = RoloPolicy::new(
         RoloFlavor::Performance,
         cfg.pairs,
         geo.logger_base(),
@@ -209,8 +209,7 @@ fn energy_accounting_conserves_time() {
         let n = cfg.disk_count() as f64;
         let min = n * cfg.disk.power_standby_w * secs;
         let max = n * cfg.disk.power_active_w * secs
-            + report.spin_cycles as f64
-                * (cfg.disk.spin_up_energy_j + cfg.disk.spin_down_energy_j)
+            + report.spin_cycles as f64 * (cfg.disk.spin_up_energy_j + cfg.disk.spin_down_energy_j)
             + 1.0;
         assert!(
             report.total_energy_j >= min && report.total_energy_j <= max,

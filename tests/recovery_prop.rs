@@ -1,0 +1,107 @@
+//! Property tests of the §III-C recovery planner: for every scheme,
+//! array width and live-state shape, the plan must be well-formed —
+//! disjoint wake/silent sets, no self-recovery, and never more
+//! participants than the array holds.
+
+use proptest::prelude::*;
+use rolo::core::{recovery_plan, Scheme};
+use rolo::raid::ArrayGeometry;
+
+fn check_plan(
+    scheme: Scheme,
+    pairs: usize,
+    failed: usize,
+    logger_pair: usize,
+    recent: &[usize],
+) -> Result<(), TestCaseError> {
+    let geo = ArrayGeometry::new(pairs, 64 * 1024, 1 << 30, 1 << 30).expect("valid geometry");
+    let array = match scheme {
+        Scheme::Graid => geo.disks() + 1, // dedicated log disk
+        _ => geo.disks(),
+    };
+    let plan = recovery_plan(scheme, &geo, failed, logger_pair, recent);
+    prop_assert_eq!(plan.failed, failed);
+    for &d in plan.wake.iter().chain(plan.silent.iter()) {
+        prop_assert!(d < array, "{scheme}: disk {d} out of range {array}");
+        prop_assert!(d != failed, "{scheme}: plan recovers from the failed disk");
+    }
+    for &w in &plan.wake {
+        prop_assert!(
+            !plan.silent.contains(&w),
+            "{scheme}: disk {w} both wakes and serves silently"
+        );
+    }
+    let mut wake = plan.wake.clone();
+    wake.sort_unstable();
+    wake.dedup();
+    prop_assert_eq!(wake.len(), plan.wake.len(), "{scheme}: duplicate wake");
+    let mut silent = plan.silent.clone();
+    silent.sort_unstable();
+    silent.dedup();
+    prop_assert_eq!(
+        silent.len(),
+        plan.silent.len(),
+        "{scheme}: duplicate silent"
+    );
+    prop_assert!(
+        plan.disks_involved() < array,
+        "{scheme}: {} participants in a {array}-disk array (failed disk excluded)",
+        plan.disks_involved()
+    );
+    prop_assert!(
+        plan.disks_involved() >= 1 || plan.redundancy_only,
+        "{scheme}: data-losing failure with an empty recovery set"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 0,
+    })]
+
+    #[test]
+    fn recovery_plans_are_well_formed(
+        pairs in 2usize..20,
+        failed_frac in 0u64..1000,
+        logger_frac in 0u64..1000,
+        recent_a in 0u64..1000,
+        recent_b in 0u64..1000,
+        scheme_idx in 0usize..5,
+    ) {
+        let scheme = Scheme::all()[scheme_idx];
+        // GRAID's log disk is a valid failure target past the mirrors.
+        let disks = match scheme {
+            Scheme::Graid => 2 * pairs + 1,
+            _ => 2 * pairs,
+        };
+        let failed = (failed_frac as usize * disks / 1000).min(disks - 1);
+        let logger_pair = (logger_frac as usize * pairs / 1000).min(pairs - 1);
+        let recent = [
+            (recent_a as usize * pairs / 1000).min(pairs - 1),
+            (recent_b as usize * pairs / 1000).min(pairs - 1),
+        ];
+        check_plan(scheme, pairs, failed, logger_pair, &recent)?;
+    }
+
+    #[test]
+    fn recovery_plans_cover_every_disk_exhaustively(
+        pairs in 2usize..8,
+        logger_pair_seed in 0u64..1000,
+    ) {
+        // Sweep every failure target (not just sampled ones) so corner
+        // slots — pair 0, the last mirror, GRAID's log disk — are hit on
+        // every run.
+        for scheme in Scheme::all() {
+            let disks = match scheme {
+                Scheme::Graid => 2 * pairs + 1,
+                _ => 2 * pairs,
+            };
+            let logger_pair = (logger_pair_seed as usize * pairs / 1000).min(pairs - 1);
+            for failed in 0..disks {
+                check_plan(scheme, pairs, failed, logger_pair, &[logger_pair])?;
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The JSON-like value tree shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number::U64(v)
+    }
+    /// Wraps a signed integer (normalised to `U64` when non-negative).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::U64(v as u64)
+        } else {
+            Number::I64(v)
+        }
+    }
+    /// Wraps a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number::F64(v)
+    }
+    /// The value as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(_) => None,
+            Number::F64(_) => None,
+        }
+    }
+    /// The value as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(_) => None,
+        }
+    }
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U64(v) => Some(v as f64),
+            Number::I64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    if v == v.trunc() && v.abs() < 1e15 {
+                        // Match serde_json: floats always carry a ".0".
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; serde_json writes null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An ordered string-keyed map (insertion order preserved, like
+/// serde_json's `preserve_order` feature).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts `key` → `value`, replacing any existing entry in place.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates `(key, value)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts entries by key (used for deterministic map serialization).
+    pub fn sort_keys(&mut self) {
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+/// A JSON value tree, API-compatible with the slice of `serde_json::Value`
+/// this workspace uses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    /// The value as `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// The value as an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// Object field lookup; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Compact JSON rendering (matches `serde_json::to_string`).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}

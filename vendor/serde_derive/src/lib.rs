@@ -1,0 +1,321 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no syn/quote — the build container has no registry).
+//!
+//! Supports the shapes this workspace actually derives on:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs (newtypes serialize as their inner value, wider
+//!   tuples as arrays);
+//! * enums with unit variants (→ the variant name as a string), tuple
+//!   variants and struct variants (→ externally tagged objects) —
+//!   matching upstream serde's default representation.
+//!
+//! `#[serde(...)]` attributes are NOT interpreted (none exist in this
+//! workspace); generics are not supported. `Deserialize` expands to
+//! nothing: the workspace only ever deserializes into
+//! `serde_json::Value`, which has its own parser.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives nothing: deserialization into concrete types is unused here.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments, which arrive
+    /// pre-expanded to `#[doc = "..."]`).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens until a top-level comma (angle-bracket aware) or
+    /// the end of the stream. Returns true if a comma was consumed.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+/// Parses `{ field: Type, ... }` contents into field names.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attributes();
+        cur.skip_visibility();
+        match cur.next() {
+            Some(TokenTree::Ident(id)) => {
+                match cur.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        return Err(format!("expected ':' after field `{id}`, found {other:?}"))
+                    }
+                }
+                fields.push(id.to_string());
+                if !cur.skip_until_comma() {
+                    break;
+                }
+            }
+            None => break,
+            other => return Err(format!("unexpected token in fields: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated items in a tuple body `( ... )`.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut arity = 1;
+    loop {
+        // A trailing comma with nothing after it doesn't add an item.
+        if !cur.skip_until_comma() {
+            break;
+        }
+        if cur.peek().is_none() {
+            break;
+        }
+        arity += 1;
+    }
+    arity
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attributes();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum: {other:?}")),
+        };
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                cur.pos += 1;
+                variants.push(Variant::Tuple(name, arity));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                cur.pos += 1;
+                variants.push(Variant::Struct(name, fields));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip any discriminant (`= expr`) and the separating comma.
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    // Reject generics: nothing in this workspace derives on generic types.
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                struct_body(&fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(tuple_arity(g.stream()))
+            }
+            // Unit struct (`struct X;`).
+            _ => "serde::value::Value::Null".to_string(),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, &enum_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive Serialize for `{other}`")),
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::value::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+fn struct_body(fields: &[String]) -> String {
+    let mut out = String::from("let mut __m = serde::value::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert({f:?}.to_string(), serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    out.push_str("serde::value::Value::Object(__m)");
+    out
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    match arity {
+        0 => "serde::value::Value::Null".to_string(),
+        // Newtype: serialize as the inner value (upstream default).
+        1 => "serde::Serialize::to_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match v {
+            Variant::Unit(vn) => arms.push_str(&format!(
+                "{name}::{vn} => serde::value::Value::String({vn:?}.to_string()),\n"
+            )),
+            Variant::Tuple(vn, arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let inner = if *arity == 1 {
+                    "serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\n\
+                         let mut __m = serde::value::Map::new();\n\
+                         __m.insert({vn:?}.to_string(), {inner});\n\
+                         serde::value::Value::Object(__m)\n\
+                     }}\n",
+                    binders.join(", ")
+                ));
+            }
+            Variant::Struct(vn, fields) => {
+                let mut inner = String::from("let mut __fm = serde::value::Map::new();\n");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__fm.insert({f:?}.to_string(), serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{\n\
+                         {inner}\
+                         let mut __m = serde::value::Map::new();\n\
+                         __m.insert({vn:?}.to_string(), serde::value::Value::Object(__fm));\n\
+                         serde::value::Value::Object(__m)\n\
+                     }}\n",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
