@@ -3,8 +3,14 @@
 //!
 //! Usage: `smoke [scheme] [trace] [hours]` (defaults: RoLo-P, src2_2, 24).
 //! Set `ROLO_E_SPINDOWN_SECS` to override RoLo-E's idle spin-down timeout.
+//!
+//! After the report the binary re-runs the same workload twice — once
+//! with the no-op [`NullSink`] and once with a [`RingSink`] — and
+//! asserts the tracing overhead stays within 10 % (+ scheduling slack)
+//! of the untraced run, the budget DESIGN.md §9 promises.
 
-use rolo_core::{Scheme, SimConfig};
+use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
+use rolo_obs::{NullSink, RingSink};
 use rolo_sim::Duration;
 
 fn main() {
@@ -79,4 +85,34 @@ fn main() {
         a.spinning_up.as_secs_f64() / 3600.0,
         a.spinning_down.as_secs_f64() / 3600.0,
     );
+
+    // Tracing-overhead check: identical workload with the hot path's
+    // one dead branch (NullSink) vs a live ring buffer.
+    let records: Vec<_> = profile.generator(dur, 1).collect();
+    let start = std::time::Instant::now();
+    let (null_report, _) = run_scheme_with_sink(&cfg, records.clone(), dur, Box::new(NullSink));
+    let null_wall = start.elapsed();
+    let start = std::time::Instant::now();
+    let (ring_report, sink) =
+        run_scheme_with_sink(&cfg, records, dur, Box::new(RingSink::new(1 << 20)));
+    let ring_wall = start.elapsed();
+    assert_eq!(
+        null_report.deterministic_json(),
+        ring_report.deterministic_json(),
+        "tracing changed the simulation outcome"
+    );
+    println!(
+        "tracing overhead: null {null_wall:.2?} vs ring {ring_wall:.2?} \
+         ({} events, {} dropped)",
+        sink.recorded(),
+        sink.dropped()
+    );
+    // 10 % budget plus absolute slack so sub-second runs are not judged
+    // on scheduler noise.
+    let budget = null_wall.mul_f64(1.10) + std::time::Duration::from_millis(250);
+    assert!(
+        ring_wall <= budget,
+        "ring-buffer tracing too slow: {ring_wall:?} > budget {budget:?} (null {null_wall:?})"
+    );
+    println!("tracing overhead within budget ({budget:.2?})");
 }

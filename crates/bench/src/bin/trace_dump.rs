@@ -1,0 +1,246 @@
+//! Replays one scheme/trace combination with tracing on and dumps the
+//! recorded event stream as JSONL, plus a per-disk power-state residency
+//! table and per-kind event counts (DESIGN.md §9).
+//!
+//! ```text
+//! trace_dump [scheme] [trace] [hours] [--seed S] [--pairs N]
+//!            [--out PATH] [--check]
+//! ```
+//!
+//! * `scheme` — raid10 | graid | rolo-p | rolo-r | rolo-e (default rolo-p)
+//! * `trace`  — a Table III profile name (default src2_2)
+//! * `hours`  — simulated window (default 1)
+//! * `--out`  — JSONL output path (default `results/trace_dump.jsonl`)
+//! * `--check` — re-parse every emitted line with the vendored JSON
+//!   parser and exit non-zero on any malformed line (the CI guard).
+
+use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
+use rolo_obs::{RingSink, TracedEvent};
+use rolo_sim::Duration;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Ring capacity: large enough to hold every event of a multi-hour run
+/// of any scheme; overflow is reported, not silent.
+const RING_CAPACITY: usize = 2_000_000;
+
+struct Args {
+    scheme: Scheme,
+    trace: String,
+    hours: f64,
+    seed: u64,
+    pairs: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: Scheme::RoloP,
+        trace: "src2_2".to_owned(),
+        hours: 1.0,
+        seed: 1,
+        pairs: 4,
+        out: None,
+        check: false,
+    };
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = val("--seed").parse().expect("seed"),
+            "--pairs" => args.pairs = val("--pairs").parse().expect("pairs"),
+            "--out" => args.out = Some(val("--out")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of trace_dump.rs");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => {
+                match positional {
+                    0 => {
+                        args.scheme = match other {
+                            "raid10" => Scheme::Raid10,
+                            "graid" => Scheme::Graid,
+                            "rolo-p" => Scheme::RoloP,
+                            "rolo-r" => Scheme::RoloR,
+                            "rolo-e" => Scheme::RoloE,
+                            _ => {
+                                eprintln!("unknown scheme {other}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                    1 => args.trace = other.to_owned(),
+                    2 => args.hours = other.parse().expect("hours"),
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+/// Accumulates per-disk residency in each power state from the
+/// `DiskInit`/`DiskState` events of a trace.
+#[derive(Default)]
+struct Residency {
+    /// disk → (current state, since-micros).
+    current: BTreeMap<usize, (String, u64)>,
+    /// (disk, state) → accumulated micros.
+    acc: BTreeMap<(usize, String), u64>,
+}
+
+impl Residency {
+    fn observe(&mut self, ev: &TracedEvent) {
+        use rolo_obs::SimEvent;
+        let at = ev.at.as_micros();
+        match &ev.event {
+            SimEvent::DiskInit { disk, state } => {
+                self.current.insert(*disk, (format!("{state:?}"), at));
+            }
+            SimEvent::DiskState { disk, to, .. } => {
+                if let Some((state, since)) = self.current.remove(disk) {
+                    *self.acc.entry((*disk, state)).or_default() += at - since;
+                }
+                self.current.insert(*disk, (format!("{to:?}"), at));
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, end_micros: u64) {
+        for (disk, (state, since)) in std::mem::take(&mut self.current) {
+            *self.acc.entry((disk, state)).or_default() += end_micros.saturating_sub(since);
+        }
+    }
+
+    fn print(&self) {
+        const STATES: [&str; 5] = ["Active", "Idle", "Standby", "SpinningUp", "SpinningDown"];
+        println!("\nper-disk state residency (seconds):");
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "disk", "active", "idle", "standby", "spin-up", "spin-down"
+        );
+        let disks: Vec<usize> = {
+            let mut d: Vec<usize> = self.acc.keys().map(|&(disk, _)| disk).collect();
+            d.dedup();
+            d
+        };
+        for disk in disks {
+            let secs = |state: &str| {
+                self.acc
+                    .get(&(disk, state.to_owned()))
+                    .copied()
+                    .unwrap_or(0) as f64
+                    / 1e6
+            };
+            print!("{disk:>5}");
+            for s in STATES {
+                print!(" {:>12.1}", secs(s));
+            }
+            println!();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = SimConfig::paper_default(args.scheme, args.pairs);
+    cfg.seed = args.seed;
+    let profile = rolo_trace::profiles::by_name(&args.trace).unwrap_or_else(|| {
+        eprintln!("unknown trace profile {}", args.trace);
+        std::process::exit(2);
+    });
+    let dur = Duration::from_secs((args.hours * 3600.0) as u64);
+    let records = profile.generator(dur, cfg.seed).collect::<Vec<_>>();
+
+    let (report, mut sink) =
+        run_scheme_with_sink(&cfg, records, dur, Box::new(RingSink::new(RING_CAPACITY)));
+    let dropped = sink.dropped();
+    let events = sink.drain();
+    if dropped > 0 {
+        eprintln!(
+            "warning: ring overflowed, {dropped} oldest events overwritten \
+             (capacity {RING_CAPACITY})"
+        );
+    }
+
+    // JSONL dump: one TracedEvent object per line.
+    let path = args.out.clone().unwrap_or_else(|| {
+        let dir = rolo_bench::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("trace_dump.jsonl").to_string_lossy().into_owned()
+    });
+    let mut lines = Vec::with_capacity(events.len());
+    for ev in &events {
+        lines.push(Serialize::to_value(ev).to_string());
+    }
+    let mut file = std::fs::File::create(&path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    for line in &lines {
+        writeln!(file, "{line}").expect("write JSONL line");
+    }
+    drop(file);
+    println!(
+        "{} events ({} dropped) written to {path}",
+        events.len(),
+        dropped
+    );
+
+    // Per-kind counts and the residency table.
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut residency = Residency::default();
+    let mut end = 0;
+    for ev in &events {
+        *kinds.entry(ev.event.kind_name()).or_default() += 1;
+        residency.observe(ev);
+        end = end.max(ev.at.as_micros());
+    }
+    println!("\nevent counts by kind:");
+    for (kind, n) in &kinds {
+        println!("{kind:>20} {n:>10}");
+    }
+    residency.finish(end);
+    residency.print();
+
+    println!(
+        "\nscheme {} | {} requests | mean response {:.3} ms | {}",
+        report.scheme,
+        report.user_requests,
+        report.mean_response_ms(),
+        report.profile.summary()
+    );
+
+    // --check: every line must round-trip through the strict JSON parser.
+    if args.check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot re-read {path}: {e}");
+            std::process::exit(1);
+        });
+        for (i, line) in text.lines().enumerate() {
+            if let Err(e) = serde_json::from_str(line) {
+                eprintln!("malformed JSONL at {path}:{}: {e}", i + 1);
+                std::process::exit(1);
+            }
+        }
+        println!("check: {} JSONL lines parse cleanly", text.lines().count());
+    }
+}

@@ -49,6 +49,28 @@ pub fn run_records(cfg: &SimConfig, records: Vec<TraceRecord>, dur: Duration) ->
     rolo_core::run_scheme(cfg, records, dur)
 }
 
+/// One simulation job for [`run_jobs`]: a config, its trace records and
+/// the simulated window.
+#[derive(Debug, Clone)]
+pub struct RunJob {
+    /// Simulation configuration (scheme, geometry, seed).
+    pub cfg: SimConfig,
+    /// Trace records to replay.
+    pub records: Vec<TraceRecord>,
+    /// Simulated duration.
+    pub duration: Duration,
+}
+
+/// Runs independent simulation jobs in parallel via [`parallel_map`],
+/// preserving input order. Reports are bit-identical to running each job
+/// serially with [`run_records`] — the simulator shares no mutable state
+/// across jobs (the determinism test suite locks this down).
+pub fn run_jobs(jobs: Vec<RunJob>) -> Vec<SimReport> {
+    parallel_map(jobs, |job| {
+        rolo_core::run_scheme(&job.cfg, job.records, job.duration)
+    })
+}
+
 /// Runs a set of independent jobs in parallel with crossbeam scoped
 /// threads, preserving input order.
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>

@@ -1,0 +1,97 @@
+//! Determinism lock-down: the same seed and config must yield the same
+//! report and the same trace-event sequence, no matter how the runs are
+//! scheduled.
+//!
+//! `SimReport::deterministic_json` strips the one intentionally
+//! non-deterministic field (the wall-clock `RunProfile`), so two
+//! equivalent runs must serialize byte-identically — across repeated
+//! runs, across serial vs `run_jobs` parallel execution, and with
+//! tracing on vs off.
+
+use rolo_bench::{run_jobs, run_records, RunJob};
+use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
+use rolo_obs::{RingSink, TracedEvent};
+use rolo_sim::Duration;
+use rolo_trace::{profiles, TraceRecord};
+
+fn small_cfg(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(scheme, 4);
+    cfg.logger_region = 64 << 20;
+    cfg.graid_log_capacity = 96 << 20;
+    cfg
+}
+
+fn workload(dur: Duration, seed: u64) -> Vec<TraceRecord> {
+    profiles::src2_2().generator(dur, seed).collect()
+}
+
+#[test]
+fn parallel_run_jobs_matches_serial() {
+    let dur = Duration::from_secs(900);
+    let records = workload(dur, 42);
+    let jobs: Vec<RunJob> = Scheme::all()
+        .into_iter()
+        .map(|scheme| RunJob {
+            cfg: small_cfg(scheme),
+            records: records.clone(),
+            duration: dur,
+        })
+        .collect();
+    let serial: Vec<String> = jobs
+        .iter()
+        .map(|j| run_records(&j.cfg, j.records.clone(), j.duration).deterministic_json())
+        .collect();
+    let parallel = run_jobs(jobs);
+    assert_eq!(parallel.len(), serial.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s,
+            &p.deterministic_json(),
+            "parallel run diverged from serial for {}",
+            p.scheme
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let dur = Duration::from_secs(900);
+    for scheme in [Scheme::RoloP, Scheme::Graid] {
+        let a = run_records(&small_cfg(scheme), workload(dur, 7), dur);
+        let b = run_records(&small_cfg(scheme), workload(dur, 7), dur);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "{scheme} is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn trace_event_sequence_is_deterministic() {
+    let dur = Duration::from_secs(900);
+    let run = || -> (String, Vec<TracedEvent>) {
+        let cfg = small_cfg(Scheme::RoloP);
+        let (report, mut sink) = run_scheme_with_sink(
+            &cfg,
+            workload(dur, 21),
+            dur,
+            Box::new(RingSink::new(1 << 20)),
+        );
+        (report.deterministic_json(), sink.drain())
+    };
+    let (ja, ea) = run();
+    let (jb, eb) = run();
+    assert_eq!(ja, jb, "reports diverged");
+    assert_eq!(ea.len(), eb.len(), "event counts diverged");
+    assert_eq!(ea, eb, "event sequences diverged");
+    assert!(!ea.is_empty(), "tracing recorded nothing");
+    // Tracing on vs off: identical deterministic report.
+    let cfg = small_cfg(Scheme::RoloP);
+    let untraced = run_records(&cfg, workload(dur, 21), dur);
+    assert_eq!(
+        ja,
+        untraced.deterministic_json(),
+        "enabling tracing changed the simulation"
+    );
+}

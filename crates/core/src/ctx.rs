@@ -11,6 +11,7 @@ use crate::recovery::RecoveryPlan;
 use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
 use rolo_disk::{DiskEnergyReport, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
+use rolo_obs::{MetricId, MetricsRegistry, NullSink, SimEvent, TraceSink};
 use rolo_raid::ArrayGeometry;
 use rolo_sim::{Duration, SimRng, SimTime};
 use rolo_trace::ReqKind;
@@ -108,13 +109,46 @@ pub struct SimCtx {
     /// Energy history of dead disks, merged into the slot's live report
     /// so array totals conserve energy across replacements.
     retired: HashMap<DiskId, DiskEnergyReport>,
+    /// Trace sink every instrumented layer emits into ([`NullSink`] by
+    /// default).
+    tracer: Box<dyn TraceSink>,
+    /// Cached `tracer.enabled()`: the only cost tracing adds to an
+    /// untraced hot path is this one branch per emit point.
+    trace_on: bool,
+    /// Always-on, deterministic metrics published by the driver and
+    /// controllers; exported into the simulation report.
+    pub metrics: MetricsRegistry,
+    pub(crate) mids: CtxMetricIds,
+}
+
+/// Pre-registered hot-path metric ids, so emit points index the registry
+/// without name lookups.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CtxMetricIds {
+    pub(crate) dispatches: MetricId,
+    pub(crate) dispatched_bytes: MetricId,
+    pub(crate) user_completions: MetricId,
+    pub(crate) response_us: MetricId,
+    pub(crate) disk_transitions: MetricId,
+    pub(crate) power_w: MetricId,
+    pub(crate) outstanding: MetricId,
 }
 
 impl SimCtx {
     /// Builds the context: one disk per [`SimConfig::disk_count`], each
     /// with a forked deterministic RNG stream. `standby` selects the
-    /// disks that begin spun down.
+    /// disks that begin spun down. Tracing is off ([`NullSink`]).
     pub fn new(cfg: &SimConfig, geometry: ArrayGeometry, standby: &[bool]) -> Self {
+        Self::with_sink(cfg, geometry, standby, Box::new(NullSink))
+    }
+
+    /// Like [`SimCtx::new`], but with a caller-supplied trace sink.
+    pub fn with_sink(
+        cfg: &SimConfig,
+        geometry: ArrayGeometry,
+        standby: &[bool],
+        sink: Box<dyn TraceSink>,
+    ) -> Self {
         assert_eq!(standby.len(), cfg.disk_count(), "standby mask length");
         let rng = SimRng::seed_from(cfg.seed);
         let disks = (0..cfg.disk_count())
@@ -136,6 +170,17 @@ impl SimCtx {
             })
             .collect();
         let disk_count = cfg.disk_count();
+        let mut metrics = MetricsRegistry::new(Duration::from_secs(60));
+        let mids = CtxMetricIds {
+            dispatches: metrics.counter("io.dispatched"),
+            dispatched_bytes: metrics.counter("io.dispatched_bytes"),
+            user_completions: metrics.counter("sim.user_completions"),
+            response_us: metrics.histogram("sim.response_us"),
+            disk_transitions: metrics.counter("disk.state_transitions"),
+            power_w: metrics.gauge("sim.power_w"),
+            outstanding: metrics.gauge("sim.outstanding_users"),
+        };
+        let trace_on = sink.enabled();
         SimCtx {
             now: SimTime::ZERO,
             geometry,
@@ -167,6 +212,59 @@ impl SimCtx {
             rebuild_ios: HashMap::new(),
             finished_rebuilds: Vec::new(),
             retired: HashMap::new(),
+            tracer: sink,
+            trace_on,
+            metrics,
+            mids,
+        }
+    }
+
+    /// True when a recording trace sink is attached.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Records a trace event at the current simulated time.
+    ///
+    /// The event is built lazily: with the default [`NullSink`] this
+    /// costs exactly one predicted branch and the closure never runs.
+    #[inline]
+    pub fn emit(&mut self, event: impl FnOnce() -> SimEvent) {
+        if self.trace_on {
+            self.tracer.record(self.now, event());
+        }
+    }
+
+    /// Driver hook: detaches the trace sink, replacing it with a
+    /// [`NullSink`] (subsequent emits become no-ops).
+    pub fn take_sink(&mut self) -> Box<dyn TraceSink> {
+        self.trace_on = false;
+        std::mem::replace(&mut self.tracer, Box::new(NullSink))
+    }
+
+    /// Driver hook: refreshes the sampled gauges (array power draw,
+    /// outstanding user requests) and snapshots every registry metric
+    /// into its timeline. Called at the driver's power-sampling cadence.
+    pub fn sample_metrics(&mut self) {
+        let power = self.total_power_w();
+        let outstanding = self.outstanding.len() as f64;
+        self.metrics.set(self.mids.power_w, power);
+        self.metrics.set(self.mids.outstanding, outstanding);
+        self.metrics.snapshot(self.now);
+    }
+
+    /// Bumps the transition counter and emits [`SimEvent::DiskState`]
+    /// when `disk` has left the power state captured in `before`.
+    fn note_disk_state(&mut self, disk: DiskId, before: PowerState) {
+        let after = self.disks[disk].power_state();
+        if after != before {
+            self.metrics.inc(self.mids.disk_transitions, 1);
+            self.emit(|| SimEvent::DiskState {
+                disk,
+                from: before,
+                to: after,
+            });
         }
     }
 
@@ -223,9 +321,21 @@ impl SimCtx {
     ) {
         let req = DiskRequest::new(id, kind, offset, bytes, priority);
         let now = self.now;
+        let before = self.disks[disk].power_state();
         if let Some(w) = self.disks[disk].submit(req, now) {
             self.pending_wakes.push((disk, w));
         }
+        self.metrics.inc(self.mids.dispatches, 1);
+        self.metrics.inc(self.mids.dispatched_bytes, bytes);
+        self.note_disk_state(disk, before);
+        self.emit(|| SimEvent::RequestDispatch {
+            io: id,
+            disk,
+            kind,
+            offset,
+            bytes,
+            background: priority == Priority::Background,
+        });
     }
 
     /// Asks `disk` to spin down as soon as it drains (park semantics:
@@ -233,17 +343,21 @@ impl SimCtx {
     /// new submission cancels it).
     pub fn spin_down(&mut self, disk: DiskId) {
         let now = self.now;
+        let before = self.disks[disk].power_state();
         if let Some(w) = self.disks[disk].park_when_idle(now) {
             self.pending_wakes.push((disk, w));
         }
+        self.note_disk_state(disk, before);
     }
 
     /// Spins `disk` up if it is in standby.
     pub fn spin_up(&mut self, disk: DiskId) {
         let now = self.now;
+        let before = self.disks[disk].power_state();
         if let Some(w) = self.disks[disk].spin_up(now) {
             self.pending_wakes.push((disk, w));
         }
+        self.note_disk_state(disk, before);
     }
 
     /// Schedules a policy timer `delay` from now carrying `token`.
@@ -265,7 +379,8 @@ impl SimCtx {
     /// follow-up wake. For I/O completions, returns the finished request.
     pub fn deliver_wake(&mut self, disk: DiskId, wake_kind: WakeKind) -> Option<DiskRequest> {
         let now = self.now;
-        match wake_kind {
+        let before = self.disks[disk].power_state();
+        let completed = match wake_kind {
             WakeKind::Io => {
                 let out = self.disks[disk].on_io_complete(now);
                 if let Some(w) = out.next {
@@ -291,7 +406,9 @@ impl SimCtx {
                 }
                 None
             }
-        }
+        };
+        self.note_disk_state(disk, before);
+        completed
     }
 
     /// Registers a user request with `subs` outstanding sub-requests.
@@ -349,6 +466,14 @@ impl SimCtx {
         if !self.degraded.is_empty() {
             self.degraded_responses.record(response);
         }
+        self.metrics.inc(self.mids.user_completions, 1);
+        self.metrics
+            .observe(self.mids.response_us, response.as_micros() as f64);
+        self.emit(|| SimEvent::RequestComplete {
+            id: user_id,
+            kind: o.kind,
+            response_us: response.as_micros(),
+        });
         Some(CompletedUser {
             kind: o.kind,
             response,
@@ -463,6 +588,8 @@ impl SimCtx {
         spare.set_scheduler(self.scheduler);
         self.disks[disk] = spare;
         self.degraded.insert(disk, self.now);
+        let epoch = u64::from(self.epochs[disk]);
+        self.emit(|| SimEvent::DiskFailed { disk, epoch });
 
         // The dead disk drops out of every running rebuild's source set,
         // and its in-flight rebuild reads move to a surviving source.
@@ -487,12 +614,16 @@ impl SimCtx {
         let p_timeout = self.fault_plan.timeout_per_io;
         if p_timeout > 0.0 && self.fault_rng.chance(p_timeout) {
             self.faults.timeouts += 1;
+            let io = req.id;
+            self.emit(|| SimEvent::IoTimeout { io });
             return IoOutcome::Timeout;
         }
         let p_media = self.fault_plan.media_error_per_read;
         if req.kind == IoKind::Read && p_media > 0.0 && self.fault_rng.chance(p_media) {
             self.faults.media_errors += 1;
             self.retries.remove(&req.id);
+            let io = req.id;
+            self.emit(|| SimEvent::MediaError { io });
             return IoOutcome::MediaError;
         }
         self.retries.remove(&req.id);
@@ -507,11 +638,16 @@ impl SimCtx {
         if *attempts >= self.fault_plan.max_retries {
             self.retries.remove(&id);
             self.faults.io_lost += 1;
+            self.emit(|| SimEvent::IoLost { io: id });
             return None;
         }
         *attempts += 1;
         self.faults.retries += 1;
         let backoff = self.fault_plan.retry_backoff * 2u64.pow(*attempts - 1);
+        self.emit(|| SimEvent::IoRetry {
+            io: id,
+            backoff_us: backoff.as_micros(),
+        });
         Some(backoff)
     }
 
@@ -558,6 +694,10 @@ impl SimCtx {
         if self.rebuilds.contains_key(&slot) {
             return;
         }
+        self.emit(|| SimEvent::RebuildStarted {
+            slot,
+            bytes: total_bytes,
+        });
         if total_bytes == 0 {
             self.complete_rebuild(slot, self.degraded[&slot]);
             return;
@@ -645,6 +785,8 @@ impl SimCtx {
         self.degraded.remove(&slot);
         self.faults.rebuilds_completed += 1;
         self.faults.rebuild_durations.push(self.now.since(started));
+        let duration_us = self.now.since(started).as_micros();
+        self.emit(|| SimEvent::RebuildCompleted { slot, duration_us });
         if self.degraded.is_empty() {
             if let Some(since) = self.degraded_since.take() {
                 self.faults.degraded_time += self.now.since(since);

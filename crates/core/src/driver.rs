@@ -16,8 +16,10 @@ use crate::policy::Policy;
 use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
+use rolo_obs::{NullSink, RunProfile, SimEvent, TraceSink};
 use rolo_sim::{Duration, EventQueue, SimTime};
 use rolo_trace::TraceRecord;
+use std::time::Instant;
 
 /// Disk events carry the slot's replacement epoch at scheduling time:
 /// when a disk dies mid-flight its queued wakes must not be delivered to
@@ -73,19 +75,43 @@ pub fn run_trace<P: Policy>(
 pub fn run_trace_returning<P: Policy>(
     cfg: &SimConfig,
     records: impl IntoIterator<Item = TraceRecord>,
-    mut policy: P,
+    policy: P,
     duration: Duration,
 ) -> (SimReport, P) {
+    let (report, policy, _sink) =
+        run_trace_with_sink(cfg, records, policy, duration, Box::new(NullSink));
+    (report, policy)
+}
+
+/// Like [`run_trace_returning`], but records structured [`SimEvent`]s
+/// into `sink` and hands the sink back for draining (see `rolo_obs`).
+///
+/// With a recording sink the run produces the *same* [`SimReport`]
+/// modulo the wall-clock [`RunProfile`]: tracing must never perturb the
+/// simulation.
+pub fn run_trace_with_sink<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    mut policy: P,
+    duration: Duration,
+    sink: Box<dyn TraceSink>,
+) -> (SimReport, P, Box<dyn TraceSink>) {
     if let Err(e) = cfg.check() {
         panic!("invalid configuration: {e}");
     }
+    let wall_start = Instant::now();
     let geometry = cfg.geometry().expect("invalid geometry");
     let standby: Vec<bool> = (0..cfg.disk_count())
         .map(|d| policy.initial_standby(d))
         .collect();
-    let mut ctx = SimCtx::new(cfg, geometry, &standby);
+    let mut ctx = SimCtx::with_sink(cfg, geometry, &standby, sink);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let logical_capacity = ctx.geometry().logical_capacity();
+
+    for d in 0..ctx.disk_count() {
+        let state = ctx.disk(d).power_state();
+        ctx.emit(|| SimEvent::DiskInit { disk: d, state });
+    }
 
     policy.attach(&mut ctx);
     drain_ctx(&mut ctx, &mut queue);
@@ -94,6 +120,10 @@ pub fn run_trace_returning<P: Policy>(
     let trace_end = SimTime::ZERO + duration;
     queue.schedule(trace_end, Event::TraceEnd);
     for (disk, at) in cfg.faults.schedule(cfg.disk_count(), duration) {
+        ctx.emit(|| SimEvent::FaultScheduled {
+            disk,
+            at_us: at.as_micros(),
+        });
         queue.schedule(at, Event::DiskFail(disk));
     }
     // Sample aggregate power ~1000 times over the window (min 1 s apart).
@@ -109,6 +139,7 @@ pub fn run_trace_returning<P: Policy>(
     let mut snapshot: Option<TraceEndSnapshot> = None;
     let mut trace_done = false;
     let mut stall_kicks = 0u32;
+    let mut wall_replay: Option<std::time::Duration> = None;
 
     loop {
         let Some(ev) = queue.pop() else {
@@ -147,6 +178,12 @@ pub fn run_trace_returning<P: Policy>(
                 let rec = clamp_record(rec, logical_capacity, cfg.stripe_unit);
                 let id = next_user_id;
                 next_user_id += 1;
+                ctx.emit(|| SimEvent::RequestArrive {
+                    id,
+                    kind: rec.kind,
+                    offset: rec.offset,
+                    bytes: rec.bytes,
+                });
                 policy.on_user_request(&mut ctx, id, &rec);
                 if let Some(next) = records.peek() {
                     if next.arrival < trace_end {
@@ -229,12 +266,15 @@ pub fn run_trace_returning<P: Policy>(
                 let w = ctx.total_power_w();
                 let now = ctx.now;
                 ctx.power_timeline.push(now, w);
+                ctx.sample_metrics();
                 if now + sample_every < trace_end {
                     queue.schedule(now + sample_every, Event::PowerSample);
                 }
             }
             Event::TraceEnd => {
                 trace_done = true;
+                wall_replay = Some(wall_start.elapsed());
+                ctx.emit(|| SimEvent::TraceEnded);
                 snapshot = Some(TraceEndSnapshot {
                     energy_by_disk: ctx.energy_by_disk(),
                     spin_cycles: ctx.spin_cycles(),
@@ -255,6 +295,29 @@ pub fn run_trace_returning<P: Policy>(
         }
     }
     ctx.finalize_faults();
+
+    // Export fault and controller counters into the registry and take a
+    // final snapshot at the drained time, so exported timelines cover
+    // the whole run.
+    let fault_totals = ctx.faults.clone();
+    fault_totals.publish(&mut ctx.metrics);
+    policy.stats().publish(&mut ctx.metrics);
+    ctx.sample_metrics();
+
+    let wall_total = wall_start.elapsed();
+    let wall_replay = wall_replay.unwrap_or(wall_total);
+    let sink = ctx.take_sink();
+    let profile = RunProfile {
+        sink: sink.name().to_string(),
+        wall_replay_us: wall_replay.as_micros() as u64,
+        wall_drain_us: (wall_total - wall_replay).as_micros() as u64,
+        wall_total_us: wall_total.as_micros() as u64,
+        events_processed: queue.popped_total(),
+        events_scheduled: queue.scheduled_total(),
+        events_per_sec: queue.popped_total() as f64 / wall_total.as_secs_f64().max(1e-9),
+        trace_events_recorded: sink.recorded(),
+        trace_events_dropped: sink.dropped(),
+    };
 
     let snapshot = snapshot.unwrap_or_default();
     let aggregate = snapshot
@@ -294,8 +357,10 @@ pub fn run_trace_returning<P: Policy>(
         faults: ctx.faults.clone(),
         degraded_responses: ctx.degraded_responses.clone(),
         consistency,
+        metrics: ctx.metrics.export(),
+        profile,
     };
-    (report, policy)
+    (report, policy, sink)
 }
 
 /// Wraps a record into the logical address space, aligned and clipped.
@@ -339,22 +404,41 @@ pub fn run_scheme(
     records: impl IntoIterator<Item = TraceRecord>,
     duration: Duration,
 ) -> SimReport {
+    run_scheme_with_sink(cfg, records, duration, Box::new(NullSink)).0
+}
+
+/// Like [`run_scheme`], but records trace events into `sink` and hands
+/// it back for draining — the entry point of the `trace_dump` tool.
+pub fn run_scheme_with_sink(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    duration: Duration,
+    sink: Box<dyn TraceSink>,
+) -> (SimReport, Box<dyn TraceSink>) {
     use crate::config::Scheme;
     let geo = cfg.geometry().expect("invalid geometry");
     match cfg.scheme {
-        Scheme::Raid10 => run_trace(cfg, records, crate::raid10::Raid10Policy::new(), duration),
-        Scheme::Graid => run_trace(
-            cfg,
-            records,
-            crate::graid::GraidPolicy::new(
+        Scheme::Raid10 => {
+            let (report, _, sink) = run_trace_with_sink(
+                cfg,
+                records,
+                crate::raid10::Raid10Policy::new(),
+                duration,
+                sink,
+            );
+            (report, sink)
+        }
+        Scheme::Graid => {
+            let policy = crate::graid::GraidPolicy::new(
                 cfg.pairs,
                 cfg.graid_log_disk(),
                 cfg.graid_log_capacity,
                 cfg.destage_threshold,
                 cfg.destage_chunk,
-            ),
-            duration,
-        ),
+            );
+            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
+            (report, sink)
+        }
         Scheme::RoloP | Scheme::RoloR => {
             let flavor = if cfg.scheme == Scheme::RoloP {
                 crate::rolo::RoloFlavor::Performance
@@ -373,7 +457,8 @@ pub fn run_scheme(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_loggers(cfg.rolo_on_duty);
             }
-            run_trace(cfg, records, policy, duration)
+            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
+            (report, sink)
         }
         Scheme::RoloE => {
             let mut policy = crate::roloe::RoloEPolicy::new(
@@ -389,7 +474,8 @@ pub fn run_scheme(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_pairs(cfg.rolo_on_duty);
             }
-            run_trace(cfg, records, policy, duration)
+            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
+            (report, sink)
         }
     }
 }

@@ -197,6 +197,34 @@ pub struct FaultMetrics {
     pub rebuild_durations: Vec<Duration>,
 }
 
+impl FaultMetrics {
+    /// Publishes the fault counters into `registry` under `faults.*`
+    /// names, so they appear in the report's metrics export alongside
+    /// the driver's own counters. Called by the driver at end of run.
+    pub fn publish(&self, registry: &mut rolo_obs::MetricsRegistry) {
+        let pairs: [(&str, u64); 9] = [
+            ("faults.disk_failures", self.disk_failures),
+            (
+                "faults.double_faults_suppressed",
+                self.double_faults_suppressed,
+            ),
+            ("faults.media_errors", self.media_errors),
+            ("faults.timeouts", self.timeouts),
+            ("faults.retries", self.retries),
+            ("faults.io_lost", self.io_lost),
+            ("faults.reads_redirected", self.reads_redirected),
+            ("faults.rebuilds_completed", self.rebuilds_completed),
+            ("faults.rebuild_bytes", self.rebuild_bytes),
+        ];
+        for (name, value) in pairs {
+            let id = registry.counter(name);
+            registry.inc(id, value);
+        }
+        let id = registry.gauge("faults.degraded_time_s");
+        registry.set(id, self.degraded_time.as_secs_f64());
+    }
+}
+
 /// The mirror partner that can serve a degraded slot's data, if any.
 ///
 /// Primaries and mirrors are partners of each other; the GRAID log disk

@@ -20,6 +20,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
+use rolo_obs::SimEvent;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -126,6 +127,7 @@ impl GraidPolicy {
             return;
         }
         self.mode = Mode::Destaging;
+        ctx.emit(|| SimEvent::DestageStart { pair: None });
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
             ctx.intervals
@@ -181,6 +183,7 @@ impl GraidPolicy {
         self.mode = Mode::Logging;
         self.period += 1;
         self.stats.destage_cycles += 1;
+        ctx.emit(|| SimEvent::DestageEnd { pair: None });
         self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
         if !self.draining {
             for pair in 0..self.pairs {
@@ -220,8 +223,10 @@ impl Policy for GraidPolicy {
                     if ctx.is_degraded(d) {
                         // Degraded mode: the mirror absorbs the primary's
                         // reads until its rebuild completes (§III-C).
+                        let from = d;
                         d = ctx.geometry().mirror_disk(ext.pair);
                         ctx.note_redirect();
+                        ctx.emit(|| SimEvent::ReadRedirected { from, to: d });
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
@@ -342,6 +347,7 @@ impl Policy for GraidPolicy {
                 {
                     self.io_map.remove(&req.id);
                     ctx.note_redirect();
+                    ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));

@@ -44,13 +44,17 @@ pub mod roloe;
 
 pub use config::{ConfigError, Scheme, SimConfig};
 pub use ctx::SimCtx;
-pub use driver::{run_scheme, run_trace, run_trace_returning};
+pub use driver::{
+    run_scheme, run_scheme_with_sink, run_trace, run_trace_returning, run_trace_with_sink,
+};
 pub use faults::{surviving_partner, FaultMetrics, FaultPlan, FaultPlanError};
 pub use graid::GraidPolicy;
 pub use paraid::ParaidPolicy;
 pub use policy::{Policy, PolicyStats};
 pub use raid10::Raid10Policy;
-pub use rebuild::{rebuild_primary_failure, simulate_rebuild, RebuildReport};
+pub use rebuild::{
+    rebuild_primary_failure, simulate_rebuild, simulate_rebuild_traced, RebuildReport,
+};
 pub use recovery::{recovery_plan, RecoveryPlan};
 pub use report::SimReport;
 pub use rolo::{RoloFlavor, RoloPolicy};

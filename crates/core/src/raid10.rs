@@ -14,6 +14,7 @@ use crate::faults::surviving_partner;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
+use rolo_obs::SimEvent;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -129,6 +130,7 @@ impl Policy for Raid10Policy {
                     .remove(&req.id)
                     .expect("RAID10 issues only user sub-requests");
                 ctx.note_redirect();
+                ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                 let id = ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                 self.io_map.insert(id, user);
                 return;

@@ -17,6 +17,7 @@
 use crate::config::{Scheme, SimConfig};
 use crate::recovery::RecoveryPlan;
 use rolo_disk::{Disk, DiskWake, IoKind, PowerState, Priority};
+use rolo_obs::{NullSink, SimEvent, TraceSink};
 use rolo_sim::{Duration, EventQueue, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,20 @@ pub fn simulate_rebuild(
     plan: &RecoveryPlan,
     standby: &[bool],
     rebuild_bytes: u64,
+) -> RebuildReport {
+    simulate_rebuild_traced(cfg, plan, standby, rebuild_bytes, &mut NullSink)
+}
+
+/// Like [`simulate_rebuild`], but emits [`SimEvent`]s (rebuild start and
+/// completion, per-chunk dispatches, disk state transitions) into `sink`
+/// so the offline rebuild engine is observable with the same taxonomy as
+/// the live driver.
+pub fn simulate_rebuild_traced(
+    cfg: &SimConfig,
+    plan: &RecoveryPlan,
+    standby: &[bool],
+    rebuild_bytes: u64,
+    sink: &mut dyn TraceSink,
 ) -> RebuildReport {
     let sources: Vec<usize> = plan
         .wake
@@ -101,13 +116,23 @@ pub fn simulate_rebuild(
     let mut offset = 0u64;
     let mut src_cursor = 0usize;
     let mut copied = 0u64;
+    // Maps an engine index to the real array slot, for trace events.
+    let slot_of = |idx: usize| -> usize {
+        if idx < sources.len() {
+            sources[idx]
+        } else {
+            plan.failed
+        }
+    };
     let submit = |disks: &mut Vec<Disk>,
                   queue: &mut EventQueue<Ev>,
+                  sink: &mut dyn TraceSink,
                   idx: usize,
                   kind: IoKind,
                   off: u64,
                   len: u64,
                   now: SimTime| {
+        let before = disks[idx].power_state();
         if let Some(w) = disks[idx].submit(
             rolo_disk::DiskRequest::new(0, kind, off, len, Priority::Foreground),
             now,
@@ -120,7 +145,41 @@ pub fn simulate_rebuild(
             };
             queue.schedule(w.due(), ev);
         }
+        if sink.enabled() {
+            let disk = slot_of(idx);
+            let after = disks[idx].power_state();
+            if after != before {
+                sink.record(
+                    now,
+                    SimEvent::DiskState {
+                        disk,
+                        from: before,
+                        to: after,
+                    },
+                );
+            }
+            sink.record(
+                now,
+                SimEvent::RequestDispatch {
+                    io: 0,
+                    disk,
+                    kind,
+                    offset: off,
+                    bytes: len,
+                    background: true,
+                },
+            );
+        }
     };
+    if sink.enabled() {
+        sink.record(
+            SimTime::ZERO,
+            SimEvent::RebuildStarted {
+                slot: plan.failed,
+                bytes: rebuild_bytes,
+            },
+        );
+    }
 
     // Kick off: first chunk read from the first source (spins it up if
     // needed — the spin-up cost is part of the §III-C story).
@@ -128,6 +187,7 @@ pub fn simulate_rebuild(
     submit(
         &mut disks,
         &mut queue,
+        sink,
         0,
         IoKind::Read,
         0,
@@ -164,6 +224,7 @@ pub fn simulate_rebuild(
                         submit(
                             &mut disks,
                             &mut queue,
+                            sink,
                             src_cursor,
                             IoKind::Read,
                             offset,
@@ -177,6 +238,7 @@ pub fn simulate_rebuild(
                     submit(
                         &mut disks,
                         &mut queue,
+                        sink,
                         replacement_idx,
                         IoKind::Write,
                         offset,
@@ -186,6 +248,7 @@ pub fn simulate_rebuild(
                 }
             }
             Ev::SpinUp(idx) => {
+                let before = disks[idx].power_state();
                 if let Some(w) = disks[idx].on_spin_up_complete(now) {
                     let evn = match w {
                         DiskWake::Io(_) => Ev::Io(idx),
@@ -194,6 +257,17 @@ pub fn simulate_rebuild(
                         DiskWake::BgRetry(_) => Ev::BgRetry(idx),
                     };
                     queue.schedule(w.due(), evn);
+                }
+                let after = disks[idx].power_state();
+                if sink.enabled() && after != before {
+                    sink.record(
+                        now,
+                        SimEvent::DiskState {
+                            disk: slot_of(idx),
+                            from: before,
+                            to: after,
+                        },
+                    );
                 }
             }
             Ev::SpinDown(idx) => {
@@ -212,6 +286,15 @@ pub fn simulate_rebuild(
         }
     }
 
+    if sink.enabled() {
+        sink.record(
+            now,
+            SimEvent::RebuildCompleted {
+                slot: plan.failed,
+                duration_us: now.since(SimTime::ZERO).as_micros(),
+            },
+        );
+    }
     let energy: f64 = disks
         .iter()
         .map(|d| d.energy_report(now).total_joules)

@@ -4,8 +4,9 @@ use crate::faults::FaultMetrics;
 use crate::policy::PolicyStats;
 use rolo_disk::DiskEnergyReport;
 use rolo_metrics::{PhaseSummary, ResponseStats};
+use rolo_obs::{MetricsReport, RunProfile};
 use rolo_sim::Duration;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Map, Serialize, Value};
 
 /// Everything a run produces. Energy, spin counts and phase summaries are
 /// snapshotted at the configured trace end (before the drain phase), so
@@ -57,6 +58,12 @@ pub struct SimReport {
     pub degraded_responses: ResponseStats,
     /// `Ok` when the end-of-run consistency audit passed.
     pub consistency: Result<(), String>,
+    /// Deterministic export of the run's metrics registry (counters,
+    /// gauges, histograms and their snapshot timelines).
+    pub metrics: MetricsReport,
+    /// Wall-clock profiling of the run. Non-deterministic: excluded
+    /// from [`SimReport::deterministic_json`].
+    pub profile: RunProfile,
 }
 
 impl SimReport {
@@ -94,6 +101,23 @@ impl SimReport {
     pub fn performance_gained_over(&self, baseline: &SimReport) -> f64 {
         1.0 - self.response_vs(baseline)
     }
+
+    /// Compact JSON of the report with the wall-clock [`RunProfile`]
+    /// stripped: two runs of the same seed and config — traced or not,
+    /// serial or parallel — must produce byte-identical output.
+    pub fn deterministic_json(&self) -> String {
+        let value = Serialize::to_value(self);
+        let Value::Object(map) = value else {
+            unreachable!("SimReport serializes to an object");
+        };
+        let mut out = Map::new();
+        for (k, v) in map.iter() {
+            if k != "profile" {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        Value::Object(out).to_string()
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +149,8 @@ mod tests {
             faults: FaultMetrics::default(),
             degraded_responses: ResponseStats::new(),
             consistency: Ok(()),
+            metrics: MetricsReport::default(),
+            profile: RunProfile::default(),
         }
     }
 
@@ -136,5 +162,22 @@ mod tests {
         assert!((mine.energy_saved_over(&base) - 0.5).abs() < 1e-12);
         assert!((mine.response_vs(&base) - 1.1).abs() < 1e-9);
         assert!((mine.performance_gained_over(&base) + 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_json_strips_profile_only() {
+        let mut r = report(1.0, 100);
+        r.profile.wall_total_us = 123_456;
+        r.profile.sink = "ring".into();
+        let json = r.deterministic_json();
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v.get("profile").is_none(), "profile stripped");
+        assert!(v.get("scheme").is_some());
+        assert!(v.get("metrics").is_some());
+
+        // Differing wall-clock profiles must not differ the output.
+        let mut other = report(1.0, 100);
+        other.profile.wall_total_us = 999;
+        assert_eq!(json, other.deterministic_json());
     }
 }

@@ -37,6 +37,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
+use rolo_obs::SimEvent;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -296,6 +297,7 @@ impl RoloPolicy {
             return;
         }
         self.destage_active[pair] = true;
+        ctx.emit(|| SimEvent::DestageStart { pair: Some(pair) });
         self.destage_tokens[pair] = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
         let m = self.mirror(ctx, pair);
         if ctx.disk(m).is_spun_up() {
@@ -337,6 +339,11 @@ impl RoloPolicy {
         self.rotation_cursor = (incoming + 1) % self.pairs;
         self.period += 1;
         self.stats.rotations += 1;
+        ctx.emit(|| SimEvent::LoggerRotation {
+            outgoing: old,
+            incoming,
+            period: self.period,
+        });
         // Close the old logging period, open the next.
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
@@ -365,6 +372,7 @@ impl RoloPolicy {
         }
         self.deactivated = true;
         self.stats.deactivations += 1;
+        ctx.emit(|| SimEvent::LoggingDeactivated);
         for pair in 0..self.pairs {
             let m = self.mirror(ctx, pair);
             ctx.spin_up(m);
@@ -383,6 +391,7 @@ impl RoloPolicy {
             return;
         }
         self.deactivated = false;
+        ctx.emit(|| SimEvent::LoggingReactivated);
         self.rotate(ctx);
         // Park every mirror that is not an on-duty logger.
         for pair in 0..self.pairs {
@@ -429,6 +438,7 @@ impl RoloPolicy {
         }
         self.destage_active[pair] = false;
         self.stats.destage_cycles += 1;
+        ctx.emit(|| SimEvent::DestageEnd { pair: Some(pair) });
         // Proactive reclamation: every log copy of this pair, anywhere in
         // the pool, is now stale.
         for space in self.spaces.values_mut() {
@@ -525,8 +535,10 @@ impl Policy for RoloPolicy {
                 for ext in &exts {
                     let mut d = ctx.geometry().primary_disk(ext.pair);
                     if ctx.is_degraded(d) {
+                        let from = d;
                         d = ctx.geometry().mirror_disk(ext.pair);
                         ctx.note_redirect();
+                        ctx.emit(|| SimEvent::ReadRedirected { from, to: d });
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
@@ -662,6 +674,7 @@ impl Policy for RoloPolicy {
                 {
                     self.io_map.remove(&req.id);
                     ctx.note_redirect();
+                    ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));
@@ -712,6 +725,11 @@ impl Policy for RoloPolicy {
                 self.rotation_cursor = (incoming + 1) % self.pairs;
                 self.period += 1;
                 self.stats.rotations += 1;
+                ctx.emit(|| SimEvent::LoggerRotation {
+                    outgoing: pair,
+                    incoming,
+                    period: self.period,
+                });
                 let m = self.mirror(ctx, incoming);
                 ctx.spin_up(m);
                 self.activate_destage(ctx, incoming);

@@ -22,6 +22,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
+use rolo_obs::SimEvent;
 use rolo_sim::Duration;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
@@ -219,6 +220,7 @@ impl RoloEPolicy {
             return;
         }
         self.mode = Mode::Destaging;
+        ctx.emit(|| SimEvent::DestageStart { pair: None });
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
             ctx.intervals
@@ -278,15 +280,22 @@ impl RoloEPolicy {
         self.phase_energy_mark = energy;
         self.mode = Mode::Logging;
         self.period += 1;
+        ctx.emit(|| SimEvent::DestageEnd { pair: None });
         // Advance the whole on-duty window by its width so successive
         // cycles visit disjoint pair sets round-robin.
         let n = self.pairs;
         let k = self.logger_pairs.len();
+        let outgoing = self.logger_pairs[0];
         for j in self.logger_pairs.iter_mut() {
             *j = (*j + k) % n;
         }
         self.stats.rotations += 1;
         self.stats.destage_cycles += 1;
+        ctx.emit(|| SimEvent::LoggerRotation {
+            outgoing,
+            incoming: self.logger_pairs[0],
+            period: self.period,
+        });
         self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
         if !self.draining {
             let keep = self.logger_disks(ctx);
@@ -379,6 +388,7 @@ impl Policy for RoloEPolicy {
                         };
                         if !ctx.disk(target).is_spun_up() {
                             self.stats.read_miss_spinups += 1;
+                            ctx.emit(|| SimEvent::ReadMissSpinUp { disk: target });
                         }
                         let id = ctx.submit(
                             target,
@@ -543,6 +553,7 @@ impl Policy for RoloEPolicy {
                 {
                     self.io_map.remove(&req.id);
                     ctx.note_redirect();
+                    ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));

@@ -1,0 +1,119 @@
+//! Observability-layer integration tests: the trace sink sees the
+//! lifecycle events DESIGN.md §9 promises, in time order, without ever
+//! perturbing the simulation itself.
+
+use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
+use rolo_obs::{NullSink, RingSink, SimEvent, TracedEvent};
+use rolo_sim::Duration;
+use rolo_trace::SyntheticConfig;
+
+fn small_cfg(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(scheme, 4);
+    cfg.disk.capacity_bytes = 256 << 20;
+    cfg.logger_region = 32 << 20;
+    cfg.graid_log_capacity = 64 << 20;
+    cfg
+}
+
+fn traced_run(cfg: &SimConfig, iops: f64, secs: u64, capacity: usize) -> Vec<TracedEvent> {
+    let dur = Duration::from_secs(secs);
+    let wl = SyntheticConfig::motivation_write_only(iops);
+    let (report, mut sink) = run_scheme_with_sink(
+        cfg,
+        wl.generator(dur, 3),
+        dur,
+        Box::new(RingSink::new(capacity)),
+    );
+    report.consistency.as_ref().expect("consistent");
+    sink.drain()
+}
+
+fn kinds(events: &[TracedEvent]) -> Vec<&'static str> {
+    events.iter().map(|e| e.event.kind_name()).collect()
+}
+
+#[test]
+fn null_and_ring_sinks_produce_identical_reports() {
+    let dur = Duration::from_secs(600);
+    let wl = SyntheticConfig::motivation_write_only(40.0);
+    for scheme in Scheme::all() {
+        let cfg = small_cfg(scheme);
+        let (null_report, _) =
+            run_scheme_with_sink(&cfg, wl.generator(dur, 9), dur, Box::new(NullSink));
+        let (ring_report, sink) = run_scheme_with_sink(
+            &cfg,
+            wl.generator(dur, 9),
+            dur,
+            Box::new(RingSink::new(1 << 20)),
+        );
+        assert!(sink.recorded() > 0, "{scheme}: nothing recorded");
+        assert_eq!(
+            null_report.deterministic_json(),
+            ring_report.deterministic_json(),
+            "{scheme}: tracing changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn rolo_p_lifecycle_events_are_present_and_time_ordered() {
+    // Small logger + sustained writes force rotations and destages.
+    let events = traced_run(&small_cfg(Scheme::RoloP), 40.0, 600, 1 << 20);
+    let seen = kinds(&events);
+    for expected in [
+        "RequestArrive",
+        "RequestDispatch",
+        "RequestComplete",
+        "DiskInit",
+        "DiskState",
+        "LoggerRotation",
+        "DestageStart",
+        "DestageEnd",
+        "TraceEnded",
+    ] {
+        assert!(seen.contains(&expected), "missing {expected} in {:?}", {
+            let mut u = seen.clone();
+            u.sort_unstable();
+            u.dedup();
+            u
+        });
+    }
+    assert!(
+        events.windows(2).all(|w| w[0].at <= w[1].at),
+        "events out of time order"
+    );
+}
+
+#[test]
+fn ring_sink_bounds_memory_and_counts_drops() {
+    let capacity = 512;
+    let events = traced_run(&small_cfg(Scheme::RoloP), 40.0, 600, capacity);
+    assert_eq!(events.len(), capacity, "ring must fill to capacity");
+    // The oldest events were overwritten: the retained window starts
+    // late in the run, not at time zero.
+    assert!(events[0].at.as_micros() > 0, "oldest events not dropped");
+}
+
+#[test]
+fn fault_run_emits_failure_and_rebuild_milestones() {
+    let mut cfg = small_cfg(Scheme::RoloP);
+    cfg.faults.disk_failures = vec![(1, Duration::from_secs(120))];
+    let events = traced_run(&cfg, 40.0, 600, 1 << 20);
+    let seen = kinds(&events);
+    for expected in [
+        "FaultScheduled",
+        "DiskFailed",
+        "RebuildStarted",
+        "RebuildCompleted",
+    ] {
+        assert!(seen.contains(&expected), "missing {expected}");
+    }
+    let failed = events
+        .iter()
+        .find_map(|e| match &e.event {
+            SimEvent::DiskFailed { disk, .. } => Some(*disk),
+            _ => None,
+        })
+        .expect("disk_failed present");
+    assert_eq!(failed, 1);
+}

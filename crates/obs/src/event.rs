@@ -1,0 +1,241 @@
+//! The typed event taxonomy emitted by every instrumented layer.
+//!
+//! Events are deliberately small `Copy`-ish payloads (ids, offsets,
+//! byte counts, enum states) rather than references into simulator
+//! state, so a drained trace is self-describing and serializes to
+//! one JSON object per event.
+
+use rolo_disk::{DiskId, IoKind, PowerState};
+use rolo_sim::SimTime;
+use rolo_trace::ReqKind;
+use serde::Serialize;
+
+/// One structured simulation event.
+///
+/// Variants cover the full observable lifecycle: user requests
+/// (arrive / dispatch / complete), disk power-state transitions,
+/// logger rotation and destaging, logging-mode changes, and every
+/// fault/retry/rebuild milestone.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SimEvent {
+    /// A user request entered the simulator from the trace.
+    RequestArrive {
+        /// Trace-order user request id.
+        id: u64,
+        /// Read or write, as recorded in the trace.
+        kind: ReqKind,
+        /// Logical byte offset of the request.
+        offset: u64,
+        /// Request length in bytes.
+        bytes: u64,
+    },
+    /// A (sub-)request was dispatched to a physical disk.
+    RequestDispatch {
+        /// Disk-level I/O id (policy tag).
+        io: u64,
+        /// Target physical disk.
+        disk: DiskId,
+        /// Read or write at the disk level.
+        kind: IoKind,
+        /// Physical byte offset on the disk.
+        offset: u64,
+        /// I/O length in bytes.
+        bytes: u64,
+        /// True for background (destage/rebuild) I/O.
+        background: bool,
+    },
+    /// The last sub-request of a user request completed.
+    RequestComplete {
+        /// Trace-order user request id.
+        id: u64,
+        /// Read or write, as recorded in the trace.
+        kind: ReqKind,
+        /// End-to-end response time in microseconds.
+        response_us: u64,
+    },
+    /// Initial power state of a disk at simulation start.
+    DiskInit {
+        /// Physical disk.
+        disk: DiskId,
+        /// State the disk starts the run in.
+        state: PowerState,
+    },
+    /// A disk moved between power states.
+    DiskState {
+        /// Physical disk.
+        disk: DiskId,
+        /// State before the transition.
+        from: PowerState,
+        /// State after the transition.
+        to: PowerState,
+    },
+    /// RoLo rotated its logger role to the next mirror slot.
+    LoggerRotation {
+        /// Slot that stops logging and starts destaging.
+        outgoing: usize,
+        /// Slot that takes over logging.
+        incoming: usize,
+        /// Rotation period counter after this rotation.
+        period: u64,
+    },
+    /// A destage cycle started.
+    DestageStart {
+        /// Mirror pair being destaged, when the scheme destages
+        /// per-pair (RoLo); `None` for whole-log destage (GRAID).
+        pair: Option<usize>,
+    },
+    /// A destage cycle finished and its log space was reclaimed.
+    DestageEnd {
+        /// Mirror pair that finished, when per-pair; else `None`.
+        pair: Option<usize>,
+    },
+    /// Write logging was switched off (log pressure); writes go direct.
+    LoggingDeactivated,
+    /// Write logging was re-enabled after log space was reclaimed.
+    LoggingReactivated,
+    /// A read miss forced a standby disk to spin up.
+    ReadMissSpinUp {
+        /// Disk being woken.
+        disk: DiskId,
+    },
+    /// A read was redirected from a failed disk to its mirror partner.
+    ReadRedirected {
+        /// Disk the read was originally addressed to.
+        from: DiskId,
+        /// Surviving disk that serves it instead.
+        to: DiskId,
+    },
+    /// A whole-disk failure fired; a hot spare was installed.
+    DiskFailed {
+        /// Slot that failed (the spare takes over the same slot).
+        disk: DiskId,
+        /// Fault epoch after the replacement.
+        epoch: u64,
+    },
+    /// The fault plan scheduled a whole-disk failure before replay.
+    FaultScheduled {
+        /// Slot that will fail.
+        disk: DiskId,
+        /// Scheduled failure time in microseconds.
+        at_us: u64,
+    },
+    /// An I/O completion was classified as a timeout.
+    IoTimeout {
+        /// Disk-level I/O id.
+        io: u64,
+    },
+    /// A timed-out I/O was scheduled for retry with backoff.
+    IoRetry {
+        /// Disk-level I/O id.
+        io: u64,
+        /// Backoff before the retry, in microseconds.
+        backoff_us: u64,
+    },
+    /// An I/O exhausted its retries and was declared lost.
+    IoLost {
+        /// Disk-level I/O id.
+        io: u64,
+    },
+    /// An I/O completion was classified as a latent media error.
+    MediaError {
+        /// Disk-level I/O id.
+        io: u64,
+    },
+    /// A degraded-mode rebuild onto a spare started.
+    RebuildStarted {
+        /// Slot being rebuilt.
+        slot: DiskId,
+        /// Bytes to reconstruct.
+        bytes: u64,
+    },
+    /// A rebuild finished and the slot left degraded mode.
+    RebuildCompleted {
+        /// Slot that finished rebuilding.
+        slot: DiskId,
+        /// Rebuild duration in simulated microseconds.
+        duration_us: u64,
+    },
+    /// The trace ran out; the driver began draining in-flight work.
+    TraceEnded,
+}
+
+impl SimEvent {
+    /// Short stable name of the variant, for per-kind summaries.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SimEvent::RequestArrive { .. } => "RequestArrive",
+            SimEvent::RequestDispatch { .. } => "RequestDispatch",
+            SimEvent::RequestComplete { .. } => "RequestComplete",
+            SimEvent::DiskInit { .. } => "DiskInit",
+            SimEvent::DiskState { .. } => "DiskState",
+            SimEvent::LoggerRotation { .. } => "LoggerRotation",
+            SimEvent::DestageStart { .. } => "DestageStart",
+            SimEvent::DestageEnd { .. } => "DestageEnd",
+            SimEvent::LoggingDeactivated => "LoggingDeactivated",
+            SimEvent::LoggingReactivated => "LoggingReactivated",
+            SimEvent::ReadMissSpinUp { .. } => "ReadMissSpinUp",
+            SimEvent::ReadRedirected { .. } => "ReadRedirected",
+            SimEvent::DiskFailed { .. } => "DiskFailed",
+            SimEvent::FaultScheduled { .. } => "FaultScheduled",
+            SimEvent::IoTimeout { .. } => "IoTimeout",
+            SimEvent::IoRetry { .. } => "IoRetry",
+            SimEvent::IoLost { .. } => "IoLost",
+            SimEvent::MediaError { .. } => "MediaError",
+            SimEvent::RebuildStarted { .. } => "RebuildStarted",
+            SimEvent::RebuildCompleted { .. } => "RebuildCompleted",
+            SimEvent::TraceEnded => "TraceEnded",
+        }
+    }
+}
+
+/// A [`SimEvent`] paired with the simulated time it was recorded at.
+///
+/// This is the unit stored by sinks and the shape of one JSONL line in
+/// `trace_dump` output: `{"at":<micros>,"event":{...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TracedEvent {
+    /// Simulated timestamp of the event.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: SimEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_externally_tagged() {
+        let ev = TracedEvent {
+            at: SimTime::from_micros(42),
+            event: SimEvent::DiskState {
+                disk: 3,
+                from: PowerState::Idle,
+                to: PowerState::Standby,
+            },
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["at"].as_u64(), Some(42));
+        assert_eq!(v["event"]["DiskState"]["disk"].as_u64(), Some(3));
+        assert_eq!(v["event"]["DiskState"]["from"].as_str(), Some("Idle"));
+
+        let unit = serde_json::to_string(&SimEvent::TraceEnded).unwrap();
+        assert_eq!(unit, "\"TraceEnded\"");
+    }
+
+    #[test]
+    fn kind_names_match_variants() {
+        assert_eq!(
+            SimEvent::RequestArrive {
+                id: 0,
+                kind: ReqKind::Read,
+                offset: 0,
+                bytes: 0
+            }
+            .kind_name(),
+            "RequestArrive"
+        );
+        assert_eq!(SimEvent::TraceEnded.kind_name(), "TraceEnded");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Observability layer for the RoLo simulator: typed trace events, trace
+//! sinks, a metrics registry and wall-clock run profiling.
+//!
+//! The simulator core stays agnostic of *how* events are consumed: every
+//! instrumented layer (driver, controllers, fault injection, rebuild)
+//! emits [`SimEvent`]s into a [`TraceSink`] owned by the simulation
+//! context. The default sink is [`NullSink`], so an untraced run pays a
+//! single predicted branch per emit point and never constructs the event
+//! value. Swapping in a [`RingSink`] captures the most recent events in a
+//! bounded ring buffer for post-mortem analysis (see the `trace_dump`
+//! binary in `rolo-bench`).
+//!
+//! Alongside the event stream, a [`MetricsRegistry`] holds named
+//! counters, gauges and histograms that controllers and the driver
+//! publish into. The registry is *always on* and fully deterministic —
+//! its export is embedded in the simulation report, so a run traced with
+//! a `RingSink` produces byte-identical results to an untraced run.
+//! Wall-clock profiling ([`RunProfile`]) is the one deliberately
+//! non-deterministic part and is excluded from deterministic
+//! serializations.
+
+pub mod event;
+pub mod profile;
+pub mod registry;
+pub mod sink;
+
+pub use event::{SimEvent, TracedEvent};
+pub use profile::RunProfile;
+pub use registry::{MetricId, MetricKind, MetricSummary, MetricsRegistry, MetricsReport};
+pub use sink::{NullSink, RingSink, TraceSink};

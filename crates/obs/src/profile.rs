@@ -1,0 +1,69 @@
+//! Wall-clock profiling of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+/// Where the wall-clock time of a run went, plus event-throughput
+/// figures.
+///
+/// Everything here is measured with the host clock and therefore
+/// **non-deterministic**: two identical runs report different numbers.
+/// The report's deterministic serialization strips this struct out —
+/// see `SimReport::deterministic_json` in `rolo-core`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Name of the trace sink the run used (`"null"`, `"ring"`, ...).
+    pub sink: String,
+    /// Wall-clock time replaying the trace, in microseconds.
+    pub wall_replay_us: u64,
+    /// Wall-clock time draining in-flight work after the trace ended.
+    pub wall_drain_us: u64,
+    /// Total wall-clock time of the run, in microseconds.
+    pub wall_total_us: u64,
+    /// Simulator events popped from the event queue.
+    pub events_processed: u64,
+    /// Simulator events pushed onto the event queue.
+    pub events_scheduled: u64,
+    /// Queue events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Trace events offered to the sink (0 with `NullSink`).
+    pub trace_events_recorded: u64,
+    /// Trace events the sink discarded for capacity.
+    pub trace_events_dropped: u64,
+}
+
+impl RunProfile {
+    /// Human-oriented one-line summary, used by bench binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "sink={} wall={:.3}s (replay {:.3}s, drain {:.3}s) \
+             events={} ({:.0}/s) traced={} dropped={}",
+            self.sink,
+            self.wall_total_us as f64 / 1e6,
+            self.wall_replay_us as f64 / 1e6,
+            self.wall_drain_us as f64 / 1e6,
+            self.events_processed,
+            self.events_per_sec,
+            self.trace_events_recorded,
+            self.trace_events_dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_sink_and_throughput() {
+        let p = RunProfile {
+            sink: "ring".to_string(),
+            wall_total_us: 2_000_000,
+            events_processed: 1000,
+            events_per_sec: 500.0,
+            ..RunProfile::default()
+        };
+        let s = p.summary();
+        assert!(s.contains("sink=ring"));
+        assert!(s.contains("500/s"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace sinks: where emitted [`SimEvent`]s go.
+//!
+//! The simulation context owns one `Box<dyn TraceSink>`. Emit points
+//! check [`TraceSink::enabled`] once (cached as a bool on the context),
+//! so with the default [`NullSink`] the hot path pays a single predicted
+//! branch and never constructs the event value.
+
+use crate::event::{SimEvent, TracedEvent};
+use rolo_sim::SimTime;
+
+/// Destination for structured trace events.
+///
+/// Implementations run on the (single-threaded) simulation thread, so
+/// `record` takes `&mut self` and needs no synchronization; the bounded
+/// [`RingSink`] keeps recording O(1) and allocation-free once warm.
+pub trait TraceSink: std::fmt::Debug {
+    /// Whether emit points should record into this sink at all.
+    ///
+    /// Cached by the simulation context at construction: a sink must not
+    /// change its answer over its lifetime.
+    fn enabled(&self) -> bool;
+
+    /// Records one event at simulated time `at`.
+    fn record(&mut self, at: SimTime, event: SimEvent);
+
+    /// Total events offered to the sink (recorded + dropped).
+    fn recorded(&self) -> u64 {
+        0
+    }
+
+    /// Events overwritten/discarded due to capacity limits.
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Removes and returns the retained events in emission order.
+    fn drain(&mut self) -> Vec<TracedEvent> {
+        Vec::new()
+    }
+
+    /// Short sink name for profiling output (e.g. `"null"`, `"ring"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The default no-op sink: tracing off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at: SimTime, _event: SimEvent) {}
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Bounded ring buffer keeping the most recent events.
+///
+/// When full, the oldest event is overwritten and counted as dropped, so
+/// a long run with a small ring retains its tail — the part that matters
+/// for post-mortem debugging.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: Vec<TracedEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event once the buffer has wrapped.
+    head: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring sink retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingSink capacity must be non-zero");
+        RingSink {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, at: SimTime, event: SimEvent) {
+        self.recorded += 1;
+        let ev = TracedEvent { at, event };
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn drain(&mut self) -> Vec<TracedEvent> {
+        let head = self.head;
+        self.head = 0;
+        self.recorded = 0;
+        self.dropped = 0;
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(head);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> (SimTime, SimEvent) {
+        (SimTime::from_micros(i), SimEvent::IoTimeout { io: i })
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        let (at, e) = ev(1);
+        s.record(at, e);
+        assert_eq!(s.recorded(), 0);
+        assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_drains_in_order() {
+        let mut s = RingSink::new(3);
+        for i in 0..5 {
+            let (at, e) = ev(i);
+            s.record(at, e);
+        }
+        assert_eq!(s.recorded(), 5);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.len(), 3);
+        let drained = s.drain();
+        let times: Vec<u64> = drained.iter().map(|t| t.at.as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert!(s.is_empty());
+        assert_eq!(s.recorded(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn ring_rejects_zero_capacity() {
+        let _ = RingSink::new(0);
+    }
+}

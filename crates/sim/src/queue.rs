@@ -63,6 +63,7 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<ScheduledEvent<T>>,
     next_seq: u64,
     now: SimTime,
+    popped: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -78,6 +79,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            popped: 0,
         }
     }
 
@@ -114,7 +116,18 @@ impl<T> EventQueue<T> {
         let ev = self.heap.pop()?;
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
+        self.popped += 1;
         Some(ev)
+    }
+
+    /// Total events scheduled over the queue's lifetime (profiling).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events popped over the queue's lifetime (profiling).
+    pub fn popped_total(&self) -> u64 {
+        self.popped
     }
 
     /// Due time of the earliest pending event, if any.
@@ -227,6 +240,50 @@ mod tests {
             for i in 0..n {
                 prop_assert_eq!(q.pop().unwrap().payload, i);
             }
+        }
+
+        /// Arbitrary interleavings of schedules (at arbitrary offsets
+        /// from the advancing clock) and pops: delivery stays
+        /// time-monotonic, equal-time events pop in schedule order, and
+        /// the lifetime counters account for every event exactly once.
+        #[test]
+        fn prop_interleaved_schedules_stay_ordered(
+            ops in proptest::collection::vec((0u64..500, 0usize..4), 1..150)
+        ) {
+            let mut q = EventQueue::new();
+            let mut scheduled: u64 = 0;
+            let mut popped: u64 = 0;
+            let mut last: Option<(SimTime, u64)> = None;
+            let mut check = |e: &ScheduledEvent<u64>| -> Result<(), TestCaseError> {
+                if let Some((lt, lp)) = last {
+                    prop_assert!(e.time >= lt, "time went backwards");
+                    if e.time == lt {
+                        // Payloads are global schedule indices, so FIFO
+                        // tie-breaking means strictly increasing payloads
+                        // within one instant.
+                        prop_assert!(e.payload > lp, "FIFO tie-break violated");
+                    }
+                }
+                last = Some((e.time, e.payload));
+                Ok(())
+            };
+            for (delta, pops) in ops {
+                q.schedule(q.now() + crate::Duration::from_micros(delta), scheduled);
+                scheduled += 1;
+                for _ in 0..pops {
+                    if let Some(e) = q.pop() {
+                        check(&e)?;
+                        popped += 1;
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                check(&e)?;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, scheduled, "every event popped exactly once");
+            prop_assert_eq!(q.scheduled_total(), scheduled);
+            prop_assert_eq!(q.popped_total(), popped);
         }
     }
 }

@@ -12,7 +12,9 @@
 //!   gear shifting), the simulation driver, recovery and rebuild;
 //! * [`parity`] — RoLo on RAID5 (the paper's §VII future work);
 //! * [`reliability`] — MTTDL models (CTMC solver + closed forms);
-//! * [`metrics`] — response-time, phase and timeline statistics.
+//! * [`metrics`] — response-time, phase and timeline statistics;
+//! * [`obs`] — structured trace events, sinks, metrics registry and
+//!   run profiling (see `DESIGN.md` §9).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 pub use rolo_core as core;
 pub use rolo_disk as disk;
 pub use rolo_metrics as metrics;
+pub use rolo_obs as obs;
 pub use rolo_parity as parity;
 pub use rolo_raid as raid;
 pub use rolo_reliability as reliability;
