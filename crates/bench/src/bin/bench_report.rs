@@ -1,0 +1,226 @@
+//! Performance-trajectory reporter: runs the fixed smoke workload
+//! matrix (every scheme × two contrasting MSR profiles) and writes
+//! `BENCH_sim.json` at the repo root — simulated response percentiles,
+//! energy and the simulator's own wall-clock throughput
+//! (events/sec from [`rolo_obs::RunProfile`]). Successive commits of the
+//! file chart how both the modelled system and the simulator itself
+//! move over time.
+//!
+//! ```text
+//! bench_report [--out PATH] [--check BASELINE]
+//! ```
+//!
+//! * `--out`   — output path (default `BENCH_sim.json`)
+//! * `--check` — compare events/sec per matrix cell against a committed
+//!   baseline JSON and exit non-zero if any cell regressed by more than
+//!   25 % (the CI gate). Simulated metrics are informational only: they
+//!   move when the model changes, which is often the point of a PR.
+//!
+//! The window defaults to one simulated hour per cell; `ROLO_WEEK_SECS`
+//! overrides it (the smoke convention).
+
+use rolo_bench::parallel_map;
+use rolo_core::{Scheme, SimConfig, SimReport};
+use rolo_sim::Duration;
+use serde::{Serialize, Value};
+
+/// Allowed events/sec slowdown vs the committed baseline before the
+/// `--check` gate fails (25 % regression budget — generous enough for
+/// shared-runner noise, tight enough to catch hot-path blowups).
+const MAX_REGRESSION: f64 = 0.25;
+
+/// The fixed matrix: every driver-reachable scheme...
+const SCHEMES: [Scheme; 5] = [
+    Scheme::Raid10,
+    Scheme::Graid,
+    Scheme::RoloP,
+    Scheme::RoloR,
+    Scheme::RoloE,
+];
+
+/// ...crossed with a write-heavy and a read-leaning MSR profile.
+const TRACES: [&str; 2] = ["src2_2", "hm_1"];
+
+#[derive(Debug, Clone, Serialize)]
+struct Cell {
+    scheme: String,
+    trace: String,
+    requests: u64,
+    mean_response_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    energy_j: f64,
+    spin_cycles: u64,
+    events_processed: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Bench {
+    /// Simulated seconds per matrix cell.
+    window_secs: u64,
+    matrix: Vec<Cell>,
+}
+
+fn cell(scheme: Scheme, trace: &str, dur: Duration) -> Cell {
+    let cfg = SimConfig::paper_default(scheme, 20);
+    let profile = rolo_trace::profiles::by_name(trace).expect("unknown trace profile");
+    let report: SimReport = rolo_core::run_scheme(&cfg, profile.generator(dur, cfg.seed), dur);
+    rolo_bench::expect_consistent(&report, &format!("{trace} {}", report.scheme));
+    let p = |q: f64| {
+        report
+            .responses
+            .percentile(q)
+            .map(|d| d.as_millis_f64())
+            .unwrap_or(0.0)
+    };
+    Cell {
+        scheme: report.scheme.clone(),
+        trace: trace.to_owned(),
+        requests: report.user_requests,
+        mean_response_ms: report.mean_response_ms(),
+        p50_ms: p(50.0),
+        p95_ms: p(95.0),
+        p99_ms: p(99.0),
+        energy_j: report.total_energy_j,
+        spin_cycles: report.spin_cycles,
+        events_processed: report.profile.events_processed,
+        wall_ms: report.profile.wall_total_us as f64 / 1e3,
+        events_per_sec: report.profile.events_per_sec,
+    }
+}
+
+/// Per-cell events/sec from a committed baseline JSON (the vendored
+/// serde stub only deserializes into `Value`, so this walks the tree).
+fn baseline_throughput(json: &Value) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let Some(cells) = json.get("matrix").and_then(Value::as_array) else {
+        return out;
+    };
+    for c in cells {
+        let scheme = c.get("scheme").and_then(Value::as_str);
+        let trace = c.get("trace").and_then(Value::as_str);
+        let eps = c.get("events_per_sec").and_then(Value::as_f64);
+        if let (Some(s), Some(t), Some(e)) = (scheme, trace, eps) {
+            out.push((s.to_owned(), t.to_owned(), e));
+        }
+    }
+    out
+}
+
+fn check(baseline: &[(String, String, f64)], current: &Bench) -> Result<(), Vec<String>> {
+    let mut regressions = Vec::new();
+    for new in &current.matrix {
+        let Some((_, _, old_eps)) = baseline
+            .iter()
+            .find(|(s, t, _)| *s == new.scheme && *t == new.trace)
+        else {
+            continue; // new cell: nothing to regress against
+        };
+        if *old_eps > 0.0 && new.events_per_sec < old_eps * (1.0 - MAX_REGRESSION) {
+            regressions.push(format!(
+                "{}/{}: {:.0} events/s vs baseline {:.0} ({:.1}% slower)",
+                new.scheme,
+                new.trace,
+                new.events_per_sec,
+                old_eps,
+                (1.0 - new.events_per_sec / old_eps) * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions)
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_sim.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--out" => out_path = val("--out"),
+            "--check" => baseline_path = Some(val("--check")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let window_secs = std::env::var("ROLO_WEEK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3600);
+    let dur = Duration::from_secs(window_secs);
+
+    let jobs: Vec<(Scheme, &str)> = SCHEMES
+        .iter()
+        .flat_map(|&s| TRACES.iter().map(move |&t| (s, t)))
+        .collect();
+    let matrix = parallel_map(jobs, |(scheme, trace)| cell(scheme, trace, dur));
+    let bench = Bench {
+        window_secs,
+        matrix,
+    };
+
+    println!(
+        "{:<8} {:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "scheme", "trace", "requests", "p50", "p95", "p99", "energy", "events/s"
+    );
+    for c in &bench.matrix {
+        println!(
+            "{:<8} {:<8} {:>9} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9} {:>12.0}",
+            c.scheme,
+            c.trace,
+            c.requests,
+            c.p50_ms,
+            c.p95_ms,
+            c.p99_ms,
+            rolo_bench::mj(c.energy_j),
+            c.events_per_sec
+        );
+    }
+
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match check(&baseline_throughput(&baseline), &bench) {
+            Ok(()) => println!(
+                "events/sec within {:.0}% of baseline {path} for all {} cells",
+                MAX_REGRESSION * 100.0,
+                bench.matrix.len()
+            ),
+            Err(regressions) => {
+                eprintln!("simulator throughput regressed >25% vs {path}:");
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialise BENCH_sim");
+    std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("performance trajectory written to {out_path}");
+}

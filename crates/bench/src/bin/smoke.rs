@@ -4,10 +4,11 @@
 //! Usage: `smoke [scheme] [trace] [hours]` (defaults: RoLo-P, src2_2, 24).
 //! Set `ROLO_E_SPINDOWN_SECS` to override RoLo-E's idle spin-down timeout.
 //!
-//! After the report the binary re-runs the same workload twice — once
-//! with the no-op [`NullSink`] and once with a [`RingSink`] — and
-//! asserts the tracing overhead stays within 10 % (+ scheduling slack)
-//! of the untraced run, the budget DESIGN.md §9 promises.
+//! After the report the binary re-runs the same workload with the no-op
+//! [`NullSink`] and with a [`RingSink`] — three runs each, taking the
+//! minimum wall time per sink — and asserts the tracing overhead stays
+//! within 10 % (+ scheduling slack) of the untraced run, the budget
+//! DESIGN.md §9 promises.
 
 use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
 use rolo_obs::{NullSink, RingSink};
@@ -87,23 +88,38 @@ fn main() {
     );
 
     // Tracing-overhead check: identical workload with the hot path's
-    // one dead branch (NullSink) vs a live ring buffer.
+    // one dead branch (NullSink) vs a live ring buffer. Each variant is
+    // timed as the minimum of three runs — one noisy scheduler quantum
+    // must not fail (or pass) the budget on its own.
     let records: Vec<_> = profile.generator(dur, 1).collect();
-    let start = std::time::Instant::now();
-    let (null_report, _) = run_scheme_with_sink(&cfg, records.clone(), dur, Box::new(NullSink));
-    let null_wall = start.elapsed();
-    let start = std::time::Instant::now();
-    let (ring_report, sink) =
-        run_scheme_with_sink(&cfg, records, dur, Box::new(RingSink::new(1 << 20)));
-    let ring_wall = start.elapsed();
+    const OVERHEAD_RUNS: u32 = 3;
+    let mut null_wall = std::time::Duration::MAX;
+    let mut null_report = None;
+    for _ in 0..OVERHEAD_RUNS {
+        let start = std::time::Instant::now();
+        let (r, _) = run_scheme_with_sink(&cfg, records.clone(), dur, Box::new(NullSink));
+        null_wall = null_wall.min(start.elapsed());
+        null_report = Some(r);
+    }
+    let null_report = null_report.expect("at least one run");
+    let mut ring_wall = std::time::Duration::MAX;
+    let mut ring_run = None;
+    for _ in 0..OVERHEAD_RUNS {
+        let start = std::time::Instant::now();
+        let out =
+            run_scheme_with_sink(&cfg, records.clone(), dur, Box::new(RingSink::new(1 << 20)));
+        ring_wall = ring_wall.min(start.elapsed());
+        ring_run = Some(out);
+    }
+    let (ring_report, sink) = ring_run.expect("at least one run");
     assert_eq!(
         null_report.deterministic_json(),
         ring_report.deterministic_json(),
         "tracing changed the simulation outcome"
     );
     println!(
-        "tracing overhead: null {null_wall:.2?} vs ring {ring_wall:.2?} \
-         ({} events, {} dropped)",
+        "tracing overhead (min of {OVERHEAD_RUNS}): null {null_wall:.2?} vs \
+         ring {ring_wall:.2?} ({} events, {} dropped)",
         sink.recorded(),
         sink.dropped()
     );

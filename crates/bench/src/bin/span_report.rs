@@ -1,0 +1,166 @@
+//! Per-scheme critical-path attribution over the smoke workload
+//! (DESIGN.md §9): runs every scheme with span tracing on, folds the
+//! finished request spans through [`rolo_obs::critical_path`] and prints
+//! where each scheme's mean response time actually goes.
+//!
+//! ```text
+//! span_report [trace] [hours]     (defaults: src2_2, 2)
+//! ```
+//!
+//! Exits non-zero if any scheme attributes less than 95 % of its summed
+//! response time to typed phases — the coverage bar the span taxonomy
+//! promises. Results land in `results/span_report.json`.
+
+use rolo_bench::{expect_consistent, parallel_map};
+use rolo_core::{ParaidPolicy, Scheme, SimConfig, SimReport};
+use rolo_obs::{AttributionSummary, Phase, SpanAnalysis, SpanSet};
+use rolo_sim::Duration;
+use serde::Serialize;
+
+/// Minimum fraction of summed response time that must be explained by
+/// typed phases, per scheme.
+const MIN_ATTRIBUTED: f64 = 0.95;
+
+/// Short column headers, in [`Phase::ALL`] order.
+const COLS: [&str; rolo_obs::NUM_PHASES] = [
+    "queue", "seek", "rot", "xfer", "log", "mirror", "spinup", "destage", "redir",
+];
+
+#[derive(Debug, Clone, Serialize)]
+struct SchemeAttribution {
+    scheme: String,
+    trace: String,
+    hours: f64,
+    background_spans: usize,
+    delayed_legs: u64,
+    all: AttributionSummary,
+    reads: AttributionSummary,
+    writes: AttributionSummary,
+}
+
+fn paraid(cfg: &SimConfig, burst_iops: f64) -> ParaidPolicy {
+    let geo = cfg.geometry().expect("geometry");
+    ParaidPolicy::new(
+        cfg.pairs,
+        geo.logger_base(),
+        geo.logger_region(),
+        burst_iops * 0.5,
+        burst_iops * 0.1,
+        Duration::from_secs(300),
+        cfg.destage_chunk,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = args.get(1).map(String::as_str).unwrap_or("src2_2");
+    let hours: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let profile = rolo_trace::profiles::by_name(trace).expect("unknown trace profile");
+    let dur = Duration::from_secs((hours * 3600.0) as u64);
+
+    let schemes = [
+        Scheme::Raid10,
+        Scheme::Graid,
+        Scheme::RoloP,
+        Scheme::RoloR,
+        Scheme::RoloE,
+    ];
+    // PARAID is not a `Scheme` variant; it runs through `run_trace_spanned`
+    // directly, proving the span plumbing is policy-agnostic.
+    let jobs: Vec<Option<Scheme>> = schemes.iter().copied().map(Some).chain([None]).collect();
+    let runs: Vec<(SimReport, SpanSet)> = parallel_map(jobs, |job| match job {
+        Some(scheme) => {
+            let cfg = SimConfig::paper_default(scheme, 20);
+            rolo_core::run_scheme_spanned(&cfg, profile.generator(dur, cfg.seed), dur)
+        }
+        None => {
+            let cfg = SimConfig::paper_default(Scheme::Raid10, 20);
+            let policy = paraid(&cfg, profile.burst_iops);
+            let (report, _, spans) =
+                rolo_core::run_trace_spanned(&cfg, profile.generator(dur, cfg.seed), policy, dur);
+            (report, spans)
+        }
+    });
+
+    println!("critical-path attribution: {trace} for {hours} h (share of summed response)");
+    print!(
+        "{:<10} {:>8} {:>9} {:>7}",
+        "scheme", "requests", "mean", "attrib"
+    );
+    for c in COLS {
+        print!(" {c:>7}");
+    }
+    println!(" {:>7}", "unattr");
+
+    let mut out = Vec::new();
+    let mut failures = Vec::new();
+    for (report, spans) in &runs {
+        expect_consistent(report, &report.scheme);
+        spans.validate().expect("span invariants hold");
+        let analysis = SpanAnalysis::analyze(&spans.requests);
+        let stats = &analysis.all;
+        assert_eq!(
+            stats.requests, report.user_requests,
+            "{}: every completed request must have a span",
+            report.scheme
+        );
+        let pct = |x: f64| format!("{:.1}%", x * 100.0);
+        print!(
+            "{:<10} {:>8} {:>7.2}ms {:>7}",
+            report.scheme,
+            stats.requests,
+            report.mean_response_ms(),
+            pct(stats.attributed_fraction()),
+        );
+        for p in Phase::ALL {
+            print!(" {:>7}", pct(stats.share(p)));
+        }
+        println!(" {:>7}", pct(1.0 - stats.attributed_fraction()));
+        if stats.attributed_fraction() < MIN_ATTRIBUTED {
+            failures.push(format!(
+                "{}: only {:.2}% attributed",
+                report.scheme,
+                stats.attributed_fraction() * 100.0
+            ));
+        }
+        let delayed = spans
+            .requests
+            .iter()
+            .flat_map(|s| &s.legs)
+            .filter(|l| l.delayed_by.is_some())
+            .count() as u64;
+        out.push(SchemeAttribution {
+            scheme: report.scheme.clone(),
+            trace: trace.to_owned(),
+            hours,
+            background_spans: spans.background.len(),
+            delayed_legs: delayed,
+            all: stats.summary(),
+            reads: analysis.reads.summary(),
+            writes: analysis.writes.summary(),
+        });
+    }
+
+    for row in &out {
+        if row.delayed_legs > 0 {
+            println!(
+                "{}: {} foreground legs delayed by {} background spans",
+                row.scheme, row.delayed_legs, row.background_spans
+            );
+        }
+    }
+
+    rolo_bench::write_results("span_report", &out);
+
+    if !failures.is_empty() {
+        eprintln!("attribution below the {:.0}% bar:", MIN_ATTRIBUTED * 100.0);
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all schemes attribute >= {:.0}% of response time to typed phases",
+        MIN_ATTRIBUTED * 100.0
+    );
+}

@@ -12,7 +12,9 @@
 //! * `hours`  — simulated window (default 1)
 //! * `--out`  — JSONL output path (default `results/trace_dump.jsonl`)
 //! * `--check` — re-parse every emitted line with the vendored JSON
-//!   parser and exit non-zero on any malformed line (the CI guard).
+//!   parser and validate that events touching the same disk carry
+//!   non-decreasing timestamps; exit non-zero on any malformed line or
+//!   time-travel (the CI guard).
 
 use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
 use rolo_obs::{RingSink, TracedEvent};
@@ -241,6 +243,38 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        println!("check: {} JSONL lines parse cleanly", text.lines().count());
+        // Per-disk causality: the ring preserves emission order, so the
+        // events touching any one disk must carry non-decreasing
+        // timestamps — a violation means an event was stamped with a
+        // stale clock (or the ring reordered), either of which breaks
+        // every downstream residency/latency computation.
+        let mut last_at: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut violations = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            let Some(disk) = ev.event.disk() else {
+                continue;
+            };
+            let at = ev.at.as_micros();
+            if let Some(&prev) = last_at.get(&disk) {
+                if at < prev {
+                    violations += 1;
+                    eprintln!(
+                        "disk {disk} time-travel at event {i}: {} < {} ({})",
+                        at,
+                        prev,
+                        ev.event.kind_name()
+                    );
+                }
+            }
+            last_at.insert(disk, at);
+        }
+        if violations > 0 {
+            eprintln!("check: {violations} per-disk timestamp violations");
+            std::process::exit(1);
+        }
+        println!(
+            "check: {} JSONL lines parse cleanly, per-disk timestamps monotone",
+            text.lines().count()
+        );
     }
 }

@@ -95,3 +95,38 @@ fn trace_event_sequence_is_deterministic() {
         "enabling tracing changed the simulation"
     );
 }
+
+#[test]
+fn span_recording_does_not_perturb_the_simulation() {
+    let dur = Duration::from_secs(900);
+    for scheme in Scheme::all() {
+        let cfg = small_cfg(scheme);
+        let plain = run_records(&cfg, workload(dur, 13), dur);
+        let (spanned, spans) = rolo_core::run_scheme_spanned(&cfg, workload(dur, 13), dur);
+        assert_eq!(
+            plain.deterministic_json(),
+            spanned.deterministic_json(),
+            "span recording changed the simulation for {scheme}"
+        );
+        assert_eq!(
+            spans.requests.len() as u64,
+            spanned.user_requests,
+            "{scheme}: every completed request must yield a span"
+        );
+        spans.validate().expect("span invariants");
+        // The spans really measure the same runtime the report does:
+        // summed span durations equal summed response times.
+        let span_us: u64 = spans
+            .requests
+            .iter()
+            .map(|s| s.duration().as_micros())
+            .sum();
+        let mean_ms = span_us as f64 / 1e3 / spanned.user_requests as f64;
+        assert!(
+            (mean_ms - spanned.mean_response_ms()).abs() < 1e-6,
+            "{scheme}: span durations diverge from response stats \
+             ({mean_ms} vs {})",
+            spanned.mean_response_ms()
+        );
+    }
+}

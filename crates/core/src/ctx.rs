@@ -11,6 +11,7 @@ use crate::recovery::RecoveryPlan;
 use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
 use rolo_disk::{DiskEnergyReport, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
+use rolo_obs::{BgSpanKind, LegFlavor, SpanCollector, SpanSet};
 use rolo_obs::{MetricId, MetricsRegistry, NullSink, SimEvent, TraceSink};
 use rolo_raid::ArrayGeometry;
 use rolo_sim::{Duration, SimRng, SimTime};
@@ -119,6 +120,16 @@ pub struct SimCtx {
     /// controllers; exported into the simulation report.
     pub metrics: MetricsRegistry,
     pub(crate) mids: CtxMetricIds,
+    /// Per-request span collector, present only when span recording was
+    /// enabled ([`SimCtx::enable_spans`]). The simulation never reads
+    /// it, so recording cannot perturb outcomes.
+    spans: Option<SpanCollector>,
+    /// Open destage [`BgSpan`](rolo_obs::BgSpan) ids, keyed by the
+    /// scheme's destage unit (`Some(pair)` for per-pair destage, `None`
+    /// for whole-log cycles).
+    destage_spans: HashMap<Option<usize>, u64>,
+    /// Open rebuild span ids, keyed by the slot being rebuilt.
+    rebuild_spans: HashMap<DiskId, u64>,
 }
 
 /// Pre-registered hot-path metric ids, so emit points index the registry
@@ -216,6 +227,96 @@ impl SimCtx {
             trace_on,
             metrics,
             mids,
+            spans: None,
+            destage_spans: HashMap::new(),
+            rebuild_spans: HashMap::new(),
+        }
+    }
+
+    /// Switches per-request span recording on: every disk starts
+    /// stamping [`rolo_disk::ServiceBreakdown`]s and the context opens a
+    /// [`SpanCollector`] that follows each user request from admission
+    /// ([`SimCtx::register_user`]) to completion
+    /// ([`SimCtx::user_sub_done`]). Off by default; recording never
+    /// feeds back into the simulation, so a spanned run produces the
+    /// same [`crate::report::SimReport`] as an unspanned one.
+    pub fn enable_spans(&mut self) {
+        for d in &mut self.disks {
+            d.set_record_breakdown(true);
+        }
+        self.spans = Some(SpanCollector::new());
+    }
+
+    /// True when span recording is on.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Driver hook: detaches the finished span data, if recording was
+    /// on.
+    pub fn take_spans(&mut self) -> Option<SpanSet> {
+        self.spans.take().map(|c| {
+            let (requests, background) = c.into_finished();
+            SpanSet {
+                requests,
+                background,
+            }
+        })
+    }
+
+    /// Declares that sub-request `io` serves user request `user` and
+    /// what its transfer is for. Controllers call this right after each
+    /// foreground [`SimCtx::submit`]; background I/O stays untagged.
+    /// No-op unless span recording is on.
+    #[inline]
+    pub fn tag_io(&mut self, io: u64, user: u64, flavor: LegFlavor) {
+        if let Some(s) = &mut self.spans {
+            s.tag_io(io, user, flavor);
+        }
+    }
+
+    /// Drops the span tag of an aborted sub-request (its completion
+    /// will never be observed). No-op unless span recording is on.
+    #[inline]
+    pub fn untag_io(&mut self, io: u64) {
+        if let Some(s) = &mut self.spans {
+            s.untag_io(io);
+        }
+    }
+
+    /// Opens a destage background span covering `disks`. `pair` is the
+    /// scheme's destage unit — `Some(pair)` for per-pair destage (RoLo),
+    /// `None` for whole-log cycles (GRAID, RoLo-E) — and keys the
+    /// matching [`SimCtx::span_destage_end`].
+    pub fn span_destage_begin(&mut self, pair: Option<usize>, disks: &[DiskId]) {
+        if let Some(s) = &mut self.spans {
+            let id = s.begin_bg(BgSpanKind::Destage, disks, self.now);
+            self.destage_spans.insert(pair, id);
+        }
+    }
+
+    /// Closes the destage background span keyed by `pair`, if open.
+    pub fn span_destage_end(&mut self, pair: Option<usize>) {
+        if let Some(id) = self.destage_spans.remove(&pair) {
+            if let Some(s) = &mut self.spans {
+                s.end_bg(id, self.now);
+            }
+        }
+    }
+
+    fn span_rebuild_begin(&mut self, slot: DiskId, disks: &[DiskId]) {
+        if let Some(s) = &mut self.spans {
+            let id = s.begin_bg(BgSpanKind::Rebuild, disks, self.now);
+            self.rebuild_spans.insert(slot, id);
+        }
+    }
+
+    fn span_rebuild_end(&mut self, slot: DiskId) {
+        if let Some(id) = self.rebuild_spans.remove(&slot) {
+            if let Some(s) = &mut self.spans {
+                s.end_bg(id, self.now);
+            }
         }
     }
 
@@ -386,6 +487,13 @@ impl SimCtx {
                 if let Some(w) = out.next {
                     self.pending_wakes.push((disk, w));
                 }
+                if self.spans.is_some() {
+                    if let Some(b) = self.disks[disk].take_breakdown() {
+                        if let Some(s) = &mut self.spans {
+                            s.record_leg(b.id, disk, &b);
+                        }
+                    }
+                }
                 Some(out.completed)
             }
             WakeKind::SpinUp => {
@@ -427,6 +535,9 @@ impl SimCtx {
             },
         );
         assert!(prev.is_none(), "duplicate user request id {user_id}");
+        if let Some(s) = &mut self.spans {
+            s.open_request(user_id, kind, arrival);
+        }
     }
 
     /// Adds more pending sub-requests to an in-flight user request.
@@ -457,6 +568,9 @@ impl SimCtx {
             return None;
         }
         let o = self.outstanding.remove(&user_id).expect("present");
+        if let Some(s) = &mut self.spans {
+            s.close_request(user_id, self.now);
+        }
         let response = self.now.since(o.arrival);
         self.responses.record(response);
         match o.kind {
@@ -699,6 +813,7 @@ impl SimCtx {
             bytes: total_bytes,
         });
         if total_bytes == 0 {
+            self.span_rebuild_begin(slot, &[slot]);
             self.complete_rebuild(slot, self.degraded[&slot]);
             return;
         }
@@ -717,6 +832,12 @@ impl SimCtx {
         for &d in &sources {
             self.spin_up(d);
         }
+        // The rebuild's copy loop occupies the replacement and every
+        // source disk; foreground legs delayed behind its transfers on
+        // any of them link to this span.
+        let mut covered = sources.clone();
+        covered.push(slot);
+        self.span_rebuild_begin(slot, &covered);
         let started = self.degraded[&slot];
         self.rebuilds.insert(
             slot,
@@ -781,6 +902,7 @@ impl SimCtx {
     }
 
     fn complete_rebuild(&mut self, slot: DiskId, started: SimTime) {
+        self.span_rebuild_end(slot);
         self.rebuilds.remove(&slot);
         self.degraded.remove(&slot);
         self.faults.rebuilds_completed += 1;

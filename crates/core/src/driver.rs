@@ -16,7 +16,7 @@ use crate::policy::Policy;
 use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
-use rolo_obs::{NullSink, RunProfile, SimEvent, TraceSink};
+use rolo_obs::{NullSink, RunProfile, SimEvent, SpanSet, TraceSink};
 use rolo_sim::{Duration, EventQueue, SimTime};
 use rolo_trace::TraceRecord;
 use std::time::Instant;
@@ -92,10 +92,41 @@ pub fn run_trace_returning<P: Policy>(
 pub fn run_trace_with_sink<P: Policy>(
     cfg: &SimConfig,
     records: impl IntoIterator<Item = TraceRecord>,
-    mut policy: P,
+    policy: P,
     duration: Duration,
     sink: Box<dyn TraceSink>,
 ) -> (SimReport, P, Box<dyn TraceSink>) {
+    let (report, policy, sink, _) = run_trace_inner(cfg, records, policy, duration, sink, false);
+    (report, policy, sink)
+}
+
+/// Like [`run_trace_returning`], but records a per-request span tree
+/// (see [`rolo_obs::RequestSpan`]): each user request is followed from
+/// admission to completion, every foreground sub-I/O becomes a typed
+/// leg, and destage/rebuild cycles become background spans linked to
+/// the foreground requests they delayed.
+///
+/// Span recording is observational only: the returned [`SimReport`] is
+/// byte-identical (modulo the wall-clock profile) to an unspanned run.
+pub fn run_trace_spanned<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    policy: P,
+    duration: Duration,
+) -> (SimReport, P, SpanSet) {
+    let (report, policy, _, spans) =
+        run_trace_inner(cfg, records, policy, duration, Box::new(NullSink), true);
+    (report, policy, spans.expect("span recording was enabled"))
+}
+
+fn run_trace_inner<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    mut policy: P,
+    duration: Duration,
+    sink: Box<dyn TraceSink>,
+    spans: bool,
+) -> (SimReport, P, Box<dyn TraceSink>, Option<SpanSet>) {
     if let Err(e) = cfg.check() {
         panic!("invalid configuration: {e}");
     }
@@ -105,6 +136,9 @@ pub fn run_trace_with_sink<P: Policy>(
         .map(|d| policy.initial_standby(d))
         .collect();
     let mut ctx = SimCtx::with_sink(cfg, geometry, &standby, sink);
+    if spans {
+        ctx.enable_spans();
+    }
     let mut queue: EventQueue<Event> = EventQueue::new();
     let logical_capacity = ctx.geometry().logical_capacity();
 
@@ -245,6 +279,10 @@ pub fn run_trace_with_sink<P: Policy>(
                 if let Some(aborted) = ctx.fail_disk(d) {
                     policy.on_disk_failure(&mut ctx, d);
                     for req in aborted {
+                        // An aborted sub-I/O never completes on the media:
+                        // drop its span tag (the error path may re-tag a
+                        // redirected replacement under a fresh id).
+                        ctx.untag_io(req.id);
                         policy.on_io_error(&mut ctx, d, req, IoOutcome::DiskDead);
                     }
                 }
@@ -360,7 +398,8 @@ pub fn run_trace_with_sink<P: Policy>(
         metrics: ctx.metrics.export(),
         profile,
     };
-    (report, policy, sink)
+    let spans_out = ctx.take_spans();
+    (report, policy, sink, spans_out)
 }
 
 /// Wraps a record into the logical address space, aligned and clipped.
@@ -415,18 +454,43 @@ pub fn run_scheme_with_sink(
     duration: Duration,
     sink: Box<dyn TraceSink>,
 ) -> (SimReport, Box<dyn TraceSink>) {
+    let (report, sink, _) = run_scheme_inner(cfg, records, duration, sink, false);
+    (report, sink)
+}
+
+/// Like [`run_scheme`], but with per-request span recording on — the
+/// entry point of the `span_report` and `bench_report` tools. Returns
+/// the report plus every completed request span and background
+/// (destage/rebuild) span of the run.
+pub fn run_scheme_spanned(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    duration: Duration,
+) -> (SimReport, SpanSet) {
+    let (report, _, spans) = run_scheme_inner(cfg, records, duration, Box::new(NullSink), true);
+    (report, spans.expect("span recording was enabled"))
+}
+
+fn run_scheme_inner(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    duration: Duration,
+    sink: Box<dyn TraceSink>,
+    spans: bool,
+) -> (SimReport, Box<dyn TraceSink>, Option<SpanSet>) {
     use crate::config::Scheme;
     let geo = cfg.geometry().expect("invalid geometry");
     match cfg.scheme {
         Scheme::Raid10 => {
-            let (report, _, sink) = run_trace_with_sink(
+            let (report, _, sink, spans) = run_trace_inner(
                 cfg,
                 records,
                 crate::raid10::Raid10Policy::new(),
                 duration,
                 sink,
+                spans,
             );
-            (report, sink)
+            (report, sink, spans)
         }
         Scheme::Graid => {
             let policy = crate::graid::GraidPolicy::new(
@@ -436,8 +500,9 @@ pub fn run_scheme_with_sink(
                 cfg.destage_threshold,
                 cfg.destage_chunk,
             );
-            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
-            (report, sink)
+            let (report, _, sink, spans) =
+                run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, sink, spans)
         }
         Scheme::RoloP | Scheme::RoloR => {
             let flavor = if cfg.scheme == Scheme::RoloP {
@@ -457,8 +522,9 @@ pub fn run_scheme_with_sink(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_loggers(cfg.rolo_on_duty);
             }
-            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
-            (report, sink)
+            let (report, _, sink, spans) =
+                run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, sink, spans)
         }
         Scheme::RoloE => {
             let mut policy = crate::roloe::RoloEPolicy::new(
@@ -474,8 +540,9 @@ pub fn run_scheme_with_sink(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_pairs(cfg.rolo_on_duty);
             }
-            let (report, _, sink) = run_trace_with_sink(cfg, records, policy, duration, sink);
-            (report, sink)
+            let (report, _, sink, spans) =
+                run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, sink, spans)
         }
     }
 }

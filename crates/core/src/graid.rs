@@ -20,7 +20,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
-use rolo_obs::SimEvent;
+use rolo_obs::{LegFlavor, SimEvent};
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -128,6 +128,10 @@ impl GraidPolicy {
         }
         self.mode = Mode::Destaging;
         ctx.emit(|| SimEvent::DestageStart { pair: None });
+        // A whole-log destage cycle touches every disk in the array
+        // (reads from primaries, writes to every mirror).
+        let all: Vec<DiskId> = (0..ctx.disk_count()).collect();
+        ctx.span_destage_begin(None, &all);
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
             ctx.intervals
@@ -184,6 +188,7 @@ impl GraidPolicy {
         self.period += 1;
         self.stats.destage_cycles += 1;
         ctx.emit(|| SimEvent::DestageEnd { pair: None });
+        ctx.span_destage_end(None);
         self.logging_token = Some(ctx.intervals.begin(Phase::Logging, ctx.now));
         if !self.draining {
             for pair in 0..self.pairs {
@@ -220,17 +225,20 @@ impl Policy for GraidPolicy {
             ReqKind::Read => {
                 for ext in &exts {
                     let mut d = ctx.geometry().primary_disk(ext.pair);
+                    let mut flavor = LegFlavor::Transfer;
                     if ctx.is_degraded(d) {
                         // Degraded mode: the mirror absorbs the primary's
                         // reads until its rebuild completes (§III-C).
                         let from = d;
                         d = ctx.geometry().mirror_disk(ext.pair);
+                        flavor = LegFlavor::DegradedRedirect;
                         ctx.note_redirect();
                         ctx.emit(|| SimEvent::ReadRedirected { from, to: d });
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, flavor);
                     subs += 1;
                 }
             }
@@ -246,6 +254,7 @@ impl Policy for GraidPolicy {
                         Priority::Foreground,
                     );
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 }
                 // Second copies appended to the log disk.
@@ -262,6 +271,7 @@ impl Policy for GraidPolicy {
                                     Priority::Foreground,
                                 );
                                 self.io_map.insert(id, Tag::User(user_id));
+                                ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
                             }
@@ -279,6 +289,7 @@ impl Policy for GraidPolicy {
                                 Priority::Foreground,
                             );
                             self.io_map.insert(id, Tag::User(user_id));
+                            ctx.tag_io(id, user_id, LegFlavor::MirrorCopy);
                             subs += 1;
                             meta.clears.push((ext.pair, ext.offset, ext.bytes));
                             self.stats.direct_writes += 1;
@@ -351,6 +362,7 @@ impl Policy for GraidPolicy {
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));
+                    ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }
             }

@@ -45,7 +45,8 @@ pub mod roloe;
 pub use config::{ConfigError, Scheme, SimConfig};
 pub use ctx::SimCtx;
 pub use driver::{
-    run_scheme, run_scheme_with_sink, run_trace, run_trace_returning, run_trace_with_sink,
+    run_scheme, run_scheme_spanned, run_scheme_with_sink, run_trace, run_trace_returning,
+    run_trace_spanned, run_trace_with_sink,
 };
 pub use faults::{surviving_partner, FaultMetrics, FaultPlan, FaultPlanError};
 pub use graid::GraidPolicy;

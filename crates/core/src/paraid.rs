@@ -27,6 +27,7 @@ use crate::dirty::DirtyMap;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
 use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_obs::LegFlavor;
 use rolo_sim::{Duration, SimTime};
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
@@ -189,6 +190,8 @@ impl ParaidPolicy {
             return;
         }
         self.syncing = true;
+        let all: Vec<DiskId> = (0..ctx.disk_count()).collect();
+        ctx.span_destage_begin(None, &all);
         for pair in 0..self.pairs {
             self.pump(ctx, pair);
         }
@@ -218,6 +221,7 @@ impl ParaidPolicy {
             return;
         }
         self.syncing = false;
+        ctx.span_destage_end(None);
         self.stats.destage_cycles += 1;
         for shadow in &mut self.shadows {
             shadow.reclaim(|_| true);
@@ -245,6 +249,7 @@ impl ParaidPolicy {
                 Priority::Foreground,
             );
             self.io_map.insert(id, Tag::User(user_id));
+            ctx.tag_io(id, user_id, LegFlavor::Transfer);
             subs += 1;
             // Shadow copy on the next primary over (never the same disk,
             // or one failure would take both copies).
@@ -264,6 +269,7 @@ impl ParaidPolicy {
                             Priority::Foreground,
                         );
                         self.io_map.insert(id, Tag::User(user_id));
+                        ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                         subs += 1;
                         self.stats.log_appended_bytes += seg.bytes;
                     }
@@ -282,6 +288,7 @@ impl ParaidPolicy {
                         Priority::Foreground,
                     );
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, LegFlavor::MirrorCopy);
                     subs += 1;
                     meta.clears.push((ext.pair, ext.offset, ext.bytes));
                     self.gear_up(ctx);
@@ -324,6 +331,7 @@ impl Policy for ParaidPolicy {
                     let id =
                         ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 }
             }
@@ -350,6 +358,12 @@ impl Policy for ParaidPolicy {
                                 Priority::Foreground,
                             );
                             self.io_map.insert(id, Tag::User(user_id));
+                            let flavor = if d == p {
+                                LegFlavor::Transfer
+                            } else {
+                                LegFlavor::MirrorCopy
+                            };
+                            ctx.tag_io(id, user_id, flavor);
                             subs += 1;
                         }
                         meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -443,6 +457,7 @@ impl Policy for ParaidPolicy {
                 shadow.reclaim(|_| true);
             }
             self.syncing = false;
+            ctx.span_destage_end(None);
         }
     }
 

@@ -79,6 +79,17 @@ pub trait Policy {
 
     /// A user request arrives. `user_id` is pre-registered by the policy
     /// via [`SimCtx::register_user`] inside this call.
+    ///
+    /// When span tracing is enabled ([`SimCtx::enable_spans`]), policies
+    /// additionally tag every *foreground* sub-I/O they submit on behalf
+    /// of the request with [`SimCtx::tag_io`], naming the phase the leg
+    /// contributes to (`Transfer` for the primary in-place copy,
+    /// `MirrorCopy` for the second copy, `LogAppend` for log-region
+    /// appends, `DegradedRedirect` for reads re-served by a surviving
+    /// partner). `tag_io` is a no-op when spans are disabled, so the
+    /// calls cost nothing on the fast path; background I/O (destage,
+    /// rebuild, cache fill) stays untagged and is attributed to requests
+    /// indirectly, through the interference windows the disks record.
     fn on_user_request(&mut self, ctx: &mut SimCtx, user_id: u64, rec: &TraceRecord);
 
     /// A sub-request completed on `disk`.

@@ -14,7 +14,7 @@ use crate::faults::surviving_partner;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
-use rolo_obs::SimEvent;
+use rolo_obs::{LegFlavor, SimEvent};
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -90,6 +90,12 @@ impl Policy for Raid10Policy {
                             Priority::Foreground,
                         );
                         self.io_map.insert(id, user_id);
+                        let flavor = if d == p {
+                            LegFlavor::Transfer
+                        } else {
+                            LegFlavor::MirrorCopy
+                        };
+                        ctx.tag_io(id, user_id, flavor);
                     }
                 }
                 ReqKind::Read => {
@@ -97,6 +103,7 @@ impl Policy for Raid10Policy {
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, user_id);
+                    ctx.tag_io(id, user_id, LegFlavor::Transfer);
                 }
             }
         }
@@ -133,6 +140,7 @@ impl Policy for Raid10Policy {
                 ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                 let id = ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                 self.io_map.insert(id, user);
+                ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                 return;
             }
         }

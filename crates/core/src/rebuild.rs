@@ -13,6 +13,13 @@
 //! replacement in large sequential chunks (round-robin across sources
 //! when more than one holds needed content, as when a RoLo primary's
 //! recent writes live across several past loggers).
+//!
+//! This module is the *offline* engine (isolated disks, no foreground
+//! traffic). Rebuilds running inside a live trace replay go through
+//! [`SimCtx::begin_rebuild`](crate::ctx::SimCtx), where — with span
+//! tracing on — each rebuild opens a `BgSpan` over its source and
+//! replacement slots, and foreground legs it delays record the causal
+//! link (DESIGN.md §9.1).
 
 use crate::config::{Scheme, SimConfig};
 use crate::recovery::RecoveryPlan;

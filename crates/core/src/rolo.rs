@@ -37,7 +37,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
-use rolo_obs::SimEvent;
+use rolo_obs::{LegFlavor, SimEvent};
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
 
@@ -298,6 +298,10 @@ impl RoloPolicy {
         }
         self.destage_active[pair] = true;
         ctx.emit(|| SimEvent::DestageStart { pair: Some(pair) });
+        // The destage chain reads the pair's primary and writes its
+        // mirror; foreground legs stuck behind those transfers link here.
+        let p = ctx.geometry().primary_disk(pair);
+        ctx.span_destage_begin(Some(pair), &[p, self.mirror(ctx, pair)]);
         self.destage_tokens[pair] = Some(ctx.intervals.begin(Phase::Destaging, ctx.now));
         let m = self.mirror(ctx, pair);
         if ctx.disk(m).is_spun_up() {
@@ -439,6 +443,7 @@ impl RoloPolicy {
         self.destage_active[pair] = false;
         self.stats.destage_cycles += 1;
         ctx.emit(|| SimEvent::DestageEnd { pair: Some(pair) });
+        ctx.span_destage_end(Some(pair));
         // Proactive reclamation: every log copy of this pair, anywhere in
         // the pool, is now stale.
         for space in self.spaces.values_mut() {
@@ -493,6 +498,12 @@ impl RoloPolicy {
                     Priority::Foreground,
                 );
                 self.io_map.insert(id, Tag::User(user_id));
+                let flavor = if d == p {
+                    LegFlavor::Transfer
+                } else {
+                    LegFlavor::MirrorCopy
+                };
+                ctx.tag_io(id, user_id, flavor);
                 subs += 1;
             }
             meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -534,15 +545,18 @@ impl Policy for RoloPolicy {
                 // slot hands its reads to the pair's mirror (§III-C).
                 for ext in &exts {
                     let mut d = ctx.geometry().primary_disk(ext.pair);
+                    let mut flavor = LegFlavor::Transfer;
                     if ctx.is_degraded(d) {
                         let from = d;
                         d = ctx.geometry().mirror_disk(ext.pair);
+                        flavor = LegFlavor::DegradedRedirect;
                         ctx.note_redirect();
                         ctx.emit(|| SimEvent::ReadRedirected { from, to: d });
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, flavor);
                     subs += 1;
                 }
             }
@@ -573,6 +587,7 @@ impl Policy for RoloPolicy {
                             Priority::Foreground,
                         );
                         self.io_map.insert(id, Tag::User(user_id));
+                        ctx.tag_io(id, user_id, LegFlavor::Transfer);
                         subs += 1;
                         meta.marks.push((ext.pair, ext.offset, ext.bytes));
                     }
@@ -594,6 +609,7 @@ impl Policy for RoloPolicy {
                                     Priority::Foreground,
                                 );
                                 self.io_map.insert(id, Tag::User(user_id));
+                                ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
                             }
@@ -678,6 +694,7 @@ impl Policy for RoloPolicy {
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));
+                    ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }
             }

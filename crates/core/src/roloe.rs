@@ -22,7 +22,7 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
-use rolo_obs::SimEvent;
+use rolo_obs::{LegFlavor, SimEvent};
 use rolo_sim::Duration;
 use rolo_trace::{ReqKind, TraceRecord};
 use std::collections::HashMap;
@@ -221,6 +221,10 @@ impl RoloEPolicy {
         }
         self.mode = Mode::Destaging;
         ctx.emit(|| SimEvent::DestageStart { pair: None });
+        // The centralized cycle spins everything up and destages every
+        // pair in parallel: cover the whole array.
+        let all: Vec<DiskId> = (0..ctx.disk_count()).collect();
+        ctx.span_destage_begin(None, &all);
         let energy = ctx.total_energy();
         if let Some(tok) = self.logging_token.take() {
             ctx.intervals
@@ -281,6 +285,7 @@ impl RoloEPolicy {
         self.mode = Mode::Logging;
         self.period += 1;
         ctx.emit(|| SimEvent::DestageEnd { pair: None });
+        ctx.span_destage_end(None);
         // Advance the whole on-duty window by its width so successive
         // cycles visit disjoint pair sets round-robin.
         let n = self.pairs;
@@ -328,6 +333,12 @@ impl RoloEPolicy {
                     Priority::Foreground,
                 );
                 self.io_map.insert(id, Tag::User(user_id));
+                let flavor = if d == p {
+                    LegFlavor::Transfer
+                } else {
+                    LegFlavor::MirrorCopy
+                };
+                ctx.tag_io(id, user_id, flavor);
                 subs += 1;
             }
             meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -376,6 +387,7 @@ impl Policy for RoloEPolicy {
                     let off = self.log_read_offset(rec.offset / self.stripe_unit, rec.bytes);
                     let id = ctx.submit(d, IoKind::Read, off, rec.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user_id));
+                    ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 } else {
                     self.stats.cache_misses += 1;
@@ -398,6 +410,12 @@ impl Policy for RoloEPolicy {
                             Priority::Foreground,
                         );
                         self.io_map.insert(id, Tag::User(user_id));
+                        let flavor = if target == p {
+                            LegFlavor::Transfer
+                        } else {
+                            LegFlavor::DegradedRedirect
+                        };
+                        ctx.tag_io(id, user_id, flavor);
                         subs += 1;
                         // Spin the awakened disk back down once idle.
                         ctx.set_timer(self.idle_spindown, target as u64);
@@ -423,6 +441,12 @@ impl Policy for RoloEPolicy {
                         Priority::Foreground,
                     );
                     self.io_map.insert(id, Tag::User(user_id));
+                    let flavor = if target == p {
+                        LegFlavor::Transfer
+                    } else {
+                        LegFlavor::DegradedRedirect
+                    };
+                    ctx.tag_io(id, user_id, flavor);
                     subs += 1;
                 }
             }
@@ -455,6 +479,15 @@ impl Policy for RoloEPolicy {
                                     Priority::Foreground,
                                 );
                                 self.io_map.insert(id, Tag::User(user_id));
+                                // First copy is the log append proper;
+                                // the twin on the pair's other disk is
+                                // its mirror.
+                                let flavor = if d == targets[0] {
+                                    LegFlavor::LogAppend
+                                } else {
+                                    LegFlavor::MirrorCopy
+                                };
+                                ctx.tag_io(id, user_id, flavor);
                                 subs += 1;
                             }
                             self.stats.log_appended_bytes += seg.bytes;
@@ -557,6 +590,7 @@ impl Policy for RoloEPolicy {
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
                     self.io_map.insert(id, Tag::User(user));
+                    ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }
                 self.on_io_complete(ctx, disk, req);

@@ -15,11 +15,11 @@
 
 use crate::params::DiskParams;
 use crate::power::{EnergyMeter, PowerState};
-use crate::service::ServiceModel;
+use crate::service::{ServiceModel, ServiceParts};
 use crate::DiskId;
 use rolo_sim::{Duration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -90,6 +90,57 @@ impl DiskWake {
             | DiskWake::SpinDown(t)
             | DiskWake::BgRetry(t) => *t,
         }
+    }
+}
+
+/// Where the time of one completed request went, as seen by the disk.
+///
+/// Only produced when breakdown recording is switched on
+/// ([`Disk::set_record_breakdown`]); the span layer in `rolo-obs` turns
+/// these into typed request phases. All intervals are exact:
+/// `spinup_stall + bg_interference ≤ start − submit` (the two windows
+/// are disjoint — a background transfer needs spinning platters) and
+/// `seek + rotation + transfer = end − start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceBreakdown {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// True for background (destage/rebuild) requests.
+    pub background: bool,
+    /// When the request was submitted to the disk.
+    pub submit: SimTime,
+    /// When its media transfer began.
+    pub start: SimTime,
+    /// When it completed.
+    pub end: SimTime,
+    /// Arm movement portion of the service time.
+    pub seek: Duration,
+    /// Rotational-latency portion of the service time.
+    pub rotation: Duration,
+    /// Media-transfer portion of the service time.
+    pub transfer: Duration,
+    /// Portion of the wait the platters were not spinning (the request
+    /// arrived at a standby / spinning-down disk and waited out the
+    /// spin-up).
+    pub spinup_stall: Duration,
+    /// Portion of the wait spent behind a background (destage/rebuild)
+    /// transfer that was already on the media when this request arrived.
+    pub bg_interference: Duration,
+}
+
+impl ServiceBreakdown {
+    /// Wait time not explained by spin-up or background interference:
+    /// time spent behind other foreground requests.
+    pub fn queue_wait(&self) -> Duration {
+        self.start
+            .since(self.submit)
+            .saturating_sub(self.spinup_stall)
+            .saturating_sub(self.bg_interference)
+    }
+
+    /// End-to-end time on this disk (`end − submit`).
+    pub fn total(&self) -> Duration {
+        self.end.since(self.submit)
     }
 }
 
@@ -240,6 +291,14 @@ pub struct DiskIoStats {
     pub idle_gaps: IdleGapHistogram,
 }
 
+/// The transfer currently on the media.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    req: DiskRequest,
+    started: SimTime,
+    parts: ServiceParts,
+}
+
 /// A single simulated disk.
 ///
 /// See the [crate docs](crate) for the driving protocol and an example.
@@ -252,7 +311,7 @@ pub struct Disk {
     spindle: Spindle,
     foreground: VecDeque<DiskRequest>,
     background: VecDeque<DiskRequest>,
-    in_service: Option<(DiskRequest, SimTime)>,
+    in_service: Option<InService>,
     /// Spin down as soon as the disk drains (see [`Disk::park_when_idle`]).
     pending_park: bool,
     /// Background I/O is dispatched only after the disk has seen no
@@ -265,6 +324,23 @@ pub struct Disk {
     stats: DiskIoStats,
     /// Set by [`Disk::fail_now`]: the disk no longer accepts work.
     dead: bool,
+    /// When true, each completion leaves a [`ServiceBreakdown`] behind
+    /// (see [`Disk::last_breakdown`]). Off by default: the untraced hot
+    /// path pays nothing beyond this flag check.
+    record_breakdown: bool,
+    /// Submit instants of queued/in-flight requests, kept only while
+    /// breakdown recording is on.
+    submit_times: HashMap<u64, SimTime>,
+    /// Instant the spindle last reached `Ready` (construction time if it
+    /// started ready). Requests submitted before this waited on spin-up.
+    ready_since: SimTime,
+    /// Media interval `[start, end]` of the most recent background
+    /// transfer: foreground requests submitted inside it were delayed by
+    /// background work (at most one — background is admitted only when
+    /// no foreground is queued).
+    bg_window: (SimTime, SimTime),
+    /// Breakdown of the most recently completed request.
+    last_breakdown: Option<ServiceBreakdown>,
 }
 
 impl Disk {
@@ -322,6 +398,11 @@ impl Disk {
             scheduler: SchedulerKind::default(),
             stats: DiskIoStats::default(),
             dead: false,
+            record_breakdown: false,
+            submit_times: HashMap::new(),
+            ready_since: now,
+            bg_window: (now, now),
+            last_breakdown: None,
         }
     }
 
@@ -405,6 +486,9 @@ impl Disk {
     /// already-scheduled wake will pick the request up.
     pub fn submit(&mut self, req: DiskRequest, now: SimTime) -> Option<DiskWake> {
         assert!(!self.dead, "submit to dead disk {}", self.id);
+        if self.record_breakdown {
+            self.submit_times.insert(req.id, now);
+        }
         // Fresh work cancels any pending park request.
         self.pending_park = false;
         match req.priority {
@@ -493,6 +577,7 @@ impl Disk {
             .charge_transition_energy(self.params.spin_up_energy_j);
         self.meter.transition(PowerState::Idle, now);
         self.spindle = Spindle::Ready;
+        self.ready_since = now;
         self.start_next(now)
     }
 
@@ -524,7 +609,11 @@ impl Disk {
     ///
     /// Panics if no request is in service (owner bug).
     pub fn on_io_complete(&mut self, now: SimTime) -> CompletionOutcome {
-        let (req, started) = self
+        let InService {
+            req,
+            started,
+            parts,
+        } = self
             .in_service
             .take()
             .unwrap_or_else(|| panic!("io completion delivered to idle disk {}", self.id));
@@ -541,6 +630,12 @@ impl Disk {
                 self.stats.background_bytes += req.bytes;
                 self.stats.background_busy += busy;
             }
+        }
+        if self.record_breakdown {
+            if req.priority == Priority::Background {
+                self.bg_window = (started, now);
+            }
+            self.last_breakdown = Some(self.build_breakdown(&req, started, now, parts));
         }
         let mut next = self.start_next(now);
         match next {
@@ -606,7 +701,7 @@ impl Disk {
         } else {
             return None;
         };
-        let svc = self.service.service_time(req.offset, req.bytes);
+        let parts = self.service.service_parts(req.offset, req.bytes);
         if self.meter.state() != PowerState::Active {
             if self.meter.state() == PowerState::Idle {
                 let gap = now.since(self.meter.state_since());
@@ -614,14 +709,73 @@ impl Disk {
             }
             self.meter.transition(PowerState::Active, now);
         }
-        let done = now + svc;
-        self.in_service = Some((req, now));
+        let done = now + parts.total();
+        self.in_service = Some(InService {
+            req,
+            started: now,
+            parts,
+        });
         Some(DiskWake::Io(done))
+    }
+
+    /// Builds the phase breakdown of a completed request. `spinup_stall`
+    /// and `bg_interference` are clamped so their sum never exceeds the
+    /// wait (`start − submit`); they cannot overlap in time anyway — a
+    /// background transfer needs spinning platters.
+    fn build_breakdown(
+        &mut self,
+        req: &DiskRequest,
+        started: SimTime,
+        now: SimTime,
+        parts: ServiceParts,
+    ) -> ServiceBreakdown {
+        let submit = self.submit_times.remove(&req.id).unwrap_or(started);
+        let wait = started.since(submit);
+        let spinup_stall = submit.until(self.ready_since).min(wait);
+        let bg_interference = if req.priority == Priority::Foreground {
+            let (bg_start, bg_end) = self.bg_window;
+            submit
+                .max(bg_start)
+                .until(started.min(bg_end))
+                .min(wait.saturating_sub(spinup_stall))
+        } else {
+            Duration::ZERO
+        };
+        ServiceBreakdown {
+            id: req.id,
+            background: req.priority == Priority::Background,
+            submit,
+            start: started,
+            end: now,
+            seek: parts.seek,
+            rotation: parts.rotation,
+            transfer: parts.transfer,
+            spinup_stall,
+            bg_interference,
+        }
     }
 
     /// Sets the idle guard before background dispatch (default 50 ms).
     pub fn set_bg_idle_guard(&mut self, guard: Duration) {
         self.bg_idle_guard = guard;
+    }
+
+    /// Switches per-completion [`ServiceBreakdown`] recording on or off
+    /// (default off). Recording never perturbs service times or the
+    /// random stream — only bookkeeping is added.
+    pub fn set_record_breakdown(&mut self, on: bool) {
+        self.record_breakdown = on;
+        if !on {
+            self.submit_times.clear();
+            self.last_breakdown = None;
+        }
+    }
+
+    /// Takes the breakdown of the most recently completed request, if
+    /// recording is on. Call immediately after
+    /// [`on_io_complete`](Self::on_io_complete).
+    pub fn take_breakdown(&mut self) -> Option<ServiceBreakdown> {
+        self.last_breakdown.take()
     }
 
     /// Sets the foreground queue-scheduling discipline (default FIFO).
@@ -650,11 +804,16 @@ impl Disk {
         }
         self.spindle = Spindle::Standby;
         let mut aborted: Vec<DiskRequest> = Vec::new();
-        if let Some((req, _)) = self.in_service.take() {
-            aborted.push(req);
+        if let Some(svc) = self.in_service.take() {
+            aborted.push(svc.req);
         }
         aborted.extend(self.foreground.drain(..));
         aborted.extend(self.background.drain(..));
+        if self.record_breakdown {
+            for req in &aborted {
+                self.submit_times.remove(&req.id);
+            }
+        }
         aborted
     }
 
@@ -1080,6 +1239,102 @@ mod scheduler_tests {
 
     fn fg_req(id: u64, offset: u64) -> DiskRequest {
         DiskRequest::new(id, IoKind::Write, offset, 16 * 1024, Priority::Foreground)
+    }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use super::*;
+
+    fn disk(seed: u64) -> Disk {
+        let mut d = Disk::new(0, DiskParams::ultrastar_36z15(), SimRng::seed_from(seed));
+        d.set_record_breakdown(true);
+        d
+    }
+
+    fn fg(id: u64, offset: u64) -> DiskRequest {
+        DiskRequest::new(id, IoKind::Write, offset, 16 * 1024, Priority::Foreground)
+    }
+
+    #[test]
+    fn recording_off_by_default() {
+        let mut d = Disk::new(0, DiskParams::ultrastar_36z15(), SimRng::seed_from(60));
+        let w = d.submit(fg(1, 0), SimTime::ZERO).unwrap();
+        d.on_io_complete(w.due());
+        assert!(d.take_breakdown().is_none());
+    }
+
+    #[test]
+    fn service_parts_sum_and_queue_wait() {
+        let mut d = disk(61);
+        let w1 = d.submit(fg(1, 0), SimTime::ZERO).unwrap();
+        d.submit(fg(2, 1 << 30), SimTime::ZERO);
+        let o1 = d.on_io_complete(w1.due());
+        let b1 = d.take_breakdown().unwrap();
+        assert_eq!(b1.id, 1);
+        assert_eq!(b1.submit, SimTime::ZERO);
+        assert_eq!(b1.queue_wait(), Duration::ZERO);
+        assert_eq!(b1.seek + b1.rotation + b1.transfer, b1.end.since(b1.start));
+        let w2 = o1.next.unwrap();
+        d.on_io_complete(w2.due());
+        let b2 = d.take_breakdown().unwrap();
+        assert_eq!(b2.id, 2);
+        // Second request waited out the first one's service time.
+        assert_eq!(b2.queue_wait(), w1.due().since(SimTime::ZERO));
+        assert_eq!(b2.spinup_stall, Duration::ZERO);
+        assert_eq!(b2.bg_interference, Duration::ZERO);
+        assert_eq!(
+            b2.queue_wait()
+                + b2.spinup_stall
+                + b2.bg_interference
+                + b2.seek
+                + b2.rotation
+                + b2.transfer,
+            b2.total()
+        );
+    }
+
+    #[test]
+    fn spin_up_stall_is_attributed() {
+        let mut d = Disk::with_initial_state(
+            0,
+            DiskParams::ultrastar_36z15(),
+            SimRng::seed_from(62),
+            PowerState::Standby,
+        );
+        d.set_record_breakdown(true);
+        let w = d.submit(fg(1, 0), SimTime::ZERO).unwrap();
+        let DiskWake::SpinUp(t) = w else { panic!() };
+        let io = d.on_spin_up_complete(t).unwrap();
+        d.on_io_complete(io.due());
+        let b = d.take_breakdown().unwrap();
+        assert_eq!(b.spinup_stall, DiskParams::ultrastar_36z15().spin_up_time);
+        assert_eq!(b.queue_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn background_interference_is_attributed() {
+        let mut d = disk(63);
+        // Past the idle guard so the background transfer dispatches.
+        let t0 = SimTime::from_secs(1);
+        let w = d
+            .submit(
+                DiskRequest::new(10, IoKind::Write, 0, 1 << 20, Priority::Background),
+                t0,
+            )
+            .unwrap();
+        // Foreground arrives mid-background-transfer.
+        let t_fg = t0 + Duration::from_micros(100);
+        assert!(d.submit(fg(1, 1 << 30), t_fg).is_none());
+        let o = d.on_io_complete(w.due());
+        let bg_done = w.due();
+        let b_bg = d.take_breakdown().unwrap();
+        assert!(b_bg.background);
+        d.on_io_complete(o.next.unwrap().due());
+        let b = d.take_breakdown().unwrap();
+        assert_eq!(b.id, 1);
+        assert_eq!(b.bg_interference, bg_done.since(t_fg));
+        assert_eq!(b.queue_wait(), Duration::ZERO);
     }
 }
 

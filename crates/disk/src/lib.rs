@@ -41,11 +41,11 @@ pub mod service;
 
 pub use disk::{
     CompletionOutcome, Disk, DiskIoStats, DiskRequest, DiskWake, IdleGapHistogram, IoKind,
-    IoOutcome, Priority, SchedulerKind,
+    IoOutcome, Priority, SchedulerKind, ServiceBreakdown,
 };
 pub use params::DiskParams;
 pub use power::{DiskEnergyReport, EnergyMeter, PowerState};
-pub use service::ServiceModel;
+pub use service::{ServiceModel, ServiceParts};
 
 /// Identifier of a disk within an array.
 pub type DiskId = usize;

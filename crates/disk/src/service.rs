@@ -20,6 +20,33 @@
 use crate::params::DiskParams;
 use rolo_sim::{Duration, SimRng};
 
+/// Decomposition of one service time into its physical parts.
+///
+/// `seek + rotation + transfer` always equals the value
+/// [`ServiceModel::service_time`] would have returned for the same
+/// request — the decomposition is exact, not a re-estimate, so the span
+/// layer can attribute every microsecond of media time to a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceParts {
+    /// Arm movement under the √-distance curve (zero when sequential or
+    /// rewriting within the current cylinder).
+    pub seek: Duration,
+    /// Rotational latency: a uniform draw for random accesses, one full
+    /// revolution for the same-cylinder rewrite (RMW) case, the
+    /// datasheet average for the first-ever request, zero when
+    /// sequential.
+    pub rotation: Duration,
+    /// Media transfer (`bytes / sustained rate`).
+    pub transfer: Duration,
+}
+
+impl ServiceParts {
+    /// Total service time: the sum of the three parts.
+    pub fn total(&self) -> Duration {
+        self.seek + self.rotation + self.transfer
+    }
+}
+
 /// Computes per-request service times while tracking head position.
 ///
 /// # Example
@@ -98,6 +125,18 @@ impl ServiceModel {
     ///
     /// Panics if the request extends past the end of the disk.
     pub fn service_time(&mut self, offset: u64, bytes: u64) -> Duration {
+        self.service_parts(offset, bytes).total()
+    }
+
+    /// Like [`service_time`](Self::service_time) but returns the
+    /// seek/rotation/transfer decomposition. Draws from the same random
+    /// stream in the same order, so a run that asks for parts is
+    /// bit-identical to one that asks for totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request extends past the end of the disk.
+    pub fn service_parts(&mut self, offset: u64, bytes: u64) -> ServiceParts {
         assert!(
             offset + bytes <= self.params.capacity_bytes,
             "request [{offset}, {}) exceeds capacity {}",
@@ -106,18 +145,24 @@ impl ServiceModel {
         );
         let transfer = self.params.transfer_time(bytes);
         let bpc = self.params.bytes_per_cylinder();
-        let positioning = match self.head {
-            Some(h) if h == offset => Duration::ZERO,
+        let (seek, rotation) = match self.head {
+            Some(h) if h == offset => (Duration::ZERO, Duration::ZERO),
             // Rewriting (or re-reading) a sector the head just passed on
             // the same cylinder costs a missed revolution — the physics
             // behind the RAID small-write read-modify-write penalty.
-            Some(h) if offset < h && h / bpc == offset / bpc => self.params.full_rotation(),
-            Some(h) => self.seek_time(h, offset) + self.rotation_draw(),
+            Some(h) if offset < h && h / bpc == offset / bpc => {
+                (Duration::ZERO, self.params.full_rotation())
+            }
+            Some(h) => (self.seek_time(h, offset), self.rotation_draw()),
             // First request ever: charge an average positioning cost.
-            None => self.params.avg_seek + self.params.avg_rotation(),
+            None => (self.params.avg_seek, self.params.avg_rotation()),
         };
         self.head = Some(offset + bytes);
-        positioning + transfer
+        ServiceParts {
+            seek,
+            rotation,
+            transfer,
+        }
     }
 
     /// Current head position (end of last transfer), if known.
@@ -204,6 +249,22 @@ mod tests {
         let t = m.service_time(x, 16 * 1024);
         let expect = m.params().full_rotation() + m.params().transfer_time(16 * 1024);
         assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn parts_sum_to_service_time_with_identical_rng_stream() {
+        let mut totals = model(21);
+        let mut parts = model(21);
+        let mut rng = SimRng::seed_from(22);
+        for _ in 0..200 {
+            let off = rng.below(totals.params().capacity_bytes - (1 << 20));
+            let bytes = 4096 * (1 + rng.below(64));
+            let t = totals.service_time(off, bytes);
+            let p = parts.service_parts(off, bytes);
+            assert_eq!(p.total(), t, "decomposition must be exact");
+            assert_eq!(p.transfer, totals.params().transfer_time(bytes));
+        }
+        assert_eq!(totals.head_position(), parts.head_position());
     }
 
     #[test]

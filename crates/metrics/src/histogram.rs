@@ -98,6 +98,19 @@ impl LatencyHistogram {
         }
         self.total += other.total;
     }
+
+    /// Merges an iterator of histograms into a fresh one — e.g. folding
+    /// per-phase or per-scheme histograms into a combined view.
+    pub fn merged<'a, I>(parts: I) -> LatencyHistogram
+    where
+        I: IntoIterator<Item = &'a LatencyHistogram>,
+    {
+        let mut out = LatencyHistogram::new();
+        for h in parts {
+            out.merge(h);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +161,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.percentile(99.0).unwrap() > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn merged_folds_many() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(10));
+        c.record(Duration::from_secs(10));
+        let m = LatencyHistogram::merged([&a, &b, &c]);
+        assert_eq!(m.count(), 3);
+        assert!(m.percentile(99.0).unwrap() >= Duration::from_secs(9));
     }
 
     #[test]

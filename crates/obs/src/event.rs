@@ -186,6 +186,25 @@ impl SimEvent {
             SimEvent::TraceEnded => "TraceEnded",
         }
     }
+
+    /// The physical disk this event concerns, if it names one (for
+    /// redirects, the disk the I/O was originally addressed to). Used by
+    /// `trace_dump --check` to validate per-disk timestamp monotonicity.
+    pub fn disk(&self) -> Option<DiskId> {
+        match self {
+            SimEvent::RequestDispatch { disk, .. }
+            | SimEvent::DiskInit { disk, .. }
+            | SimEvent::DiskState { disk, .. }
+            | SimEvent::ReadMissSpinUp { disk }
+            | SimEvent::DiskFailed { disk, .. }
+            | SimEvent::FaultScheduled { disk, .. } => Some(*disk),
+            SimEvent::ReadRedirected { from, .. } => Some(*from),
+            SimEvent::RebuildStarted { slot, .. } | SimEvent::RebuildCompleted { slot, .. } => {
+                Some(*slot)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A [`SimEvent`] paired with the simulated time it was recorded at.

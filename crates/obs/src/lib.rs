@@ -24,8 +24,14 @@ pub mod event;
 pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod span;
 
 pub use event::{SimEvent, TracedEvent};
 pub use profile::RunProfile;
 pub use registry::{MetricId, MetricKind, MetricSummary, MetricsRegistry, MetricsReport};
 pub use sink::{NullSink, RingSink, TraceSink};
+pub use span::{
+    critical_path, AttributionSummary, BgSpan, BgSpanKind, LegFlavor, PathAttribution, Phase,
+    PhaseShare, PhaseSlice, PhaseStats, RequestSpan, SpanAnalysis, SpanCollector, SpanLeg, SpanSet,
+    NUM_PHASES,
+};

@@ -7,6 +7,7 @@
 
 use crate::event::{SimEvent, TracedEvent};
 use rolo_sim::SimTime;
+use std::collections::BTreeMap;
 
 /// Destination for structured trace events.
 ///
@@ -71,6 +72,9 @@ pub struct RingSink {
     head: usize,
     recorded: u64,
     dropped: u64,
+    /// Overwritten events rolled up per [`SimEvent`] kind, so per-kind
+    /// counts over a drained ring can be corrected for wrap-around.
+    dropped_by_kind: BTreeMap<&'static str, u64>,
 }
 
 impl RingSink {
@@ -87,7 +91,15 @@ impl RingSink {
             head: 0,
             recorded: 0,
             dropped: 0,
+            dropped_by_kind: BTreeMap::new(),
         }
+    }
+
+    /// Overwritten-event counts per [`SimEvent::kind_name`]. A kind's
+    /// true emission count is its count in the drained buffer plus its
+    /// entry here.
+    pub fn dropped_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dropped_by_kind
     }
 
     /// Number of events currently retained.
@@ -112,6 +124,8 @@ impl TraceSink for RingSink {
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
+            let evicted = self.buf[self.head].event.kind_name();
+            *self.dropped_by_kind.entry(evicted).or_default() += 1;
             self.buf[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
@@ -131,6 +145,7 @@ impl TraceSink for RingSink {
         self.head = 0;
         self.recorded = 0;
         self.dropped = 0;
+        self.dropped_by_kind.clear();
         let mut out = std::mem::take(&mut self.buf);
         out.rotate_left(head);
         out
@@ -180,5 +195,28 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn ring_rejects_zero_capacity() {
         let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn dropped_events_are_counted_per_kind() {
+        let mut s = RingSink::new(2);
+        // Two kinds interleaved; the first three get evicted.
+        s.record(SimTime::from_micros(0), SimEvent::IoTimeout { io: 0 });
+        s.record(SimTime::from_micros(1), SimEvent::TraceEnded);
+        s.record(SimTime::from_micros(2), SimEvent::IoTimeout { io: 2 });
+        s.record(SimTime::from_micros(3), SimEvent::IoTimeout { io: 3 });
+        s.record(SimTime::from_micros(4), SimEvent::IoLost { io: 4 });
+        assert_eq!(s.dropped(), 3);
+        let by_kind = s.dropped_by_kind();
+        assert_eq!(by_kind.get("IoTimeout").copied(), Some(2));
+        assert_eq!(by_kind.get("TraceEnded").copied(), Some(1));
+        assert_eq!(
+            by_kind.values().sum::<u64>(),
+            s.dropped(),
+            "per-kind drops must sum to the aggregate"
+        );
+        // Drain resets the roll-up with the other counters.
+        let _ = s.drain();
+        assert!(s.dropped_by_kind().is_empty());
     }
 }

@@ -1,0 +1,150 @@
+//! Property tests for the span machinery (ISSUE 5 satellite): every
+//! completed span tree must have `end ≥ begin`, leg intervals nested
+//! within the span, per-leg slices summing exactly to the leg interval,
+//! and critical-path attribution conserving the span's duration
+//! (`attributed + unattributed == end − begin`).
+
+use proptest::prelude::*;
+use rolo_disk::ServiceBreakdown;
+use rolo_obs::{
+    critical_path, BgSpan, BgSpanKind, LegFlavor, RequestSpan, SpanAnalysis, SpanCollector,
+};
+use rolo_sim::{Duration, SimTime};
+use rolo_trace::ReqKind;
+
+/// One synthetic leg drawn by the strategy below: a submit delay after
+/// span begin, three wait components, three service components (µs
+/// each) and a flavor index.
+type LegDraw = (u64, u64, u64, u64, (u64, u64, u64), usize);
+
+/// The strategy for one leg. Tuples are the vendored proptest's
+/// combinator, so the fields are positional; see [`LegDraw`].
+fn leg_strategy() -> impl Strategy<Value = LegDraw> {
+    (
+        0u64..10_000,                            // submit_delta
+        0u64..5_000,                             // spin-up stall
+        0u64..5_000,                             // bg interference
+        0u64..5_000,                             // queue wait
+        (0u64..5_000, 0u64..5_000, 1u64..5_000), // seek, rotation, transfer
+        0usize..4,                               // flavor index
+    )
+}
+
+const FLAVORS: [LegFlavor; 4] = [
+    LegFlavor::Transfer,
+    LegFlavor::LogAppend,
+    LegFlavor::MirrorCopy,
+    LegFlavor::DegradedRedirect,
+];
+
+/// Builds a finished span from drawn legs via the collector API,
+/// exactly the way the simulation driver does.
+fn build_span(begin: u64, legs: &[LegDraw]) -> (RequestSpan, Vec<BgSpan>) {
+    let mut c = SpanCollector::new();
+    let disks: Vec<usize> = (0..legs.len()).collect();
+    let bg = c.begin_bg(BgSpanKind::Destage, &disks, SimTime::from_micros(begin));
+    c.open_request(1, ReqKind::Write, SimTime::from_micros(begin));
+    let mut close_at = begin;
+    for (i, &(submit_delta, stall, interference, queue, (seek, rotation, transfer), flavor)) in
+        legs.iter().enumerate()
+    {
+        let io = 100 + i as u64;
+        let submit = begin + submit_delta;
+        let start = submit + stall + interference + queue;
+        let end = start + seek + rotation + transfer;
+        close_at = close_at.max(end);
+        c.tag_io(io, 1, FLAVORS[flavor]);
+        c.record_leg(
+            io,
+            i, // one disk per leg
+            &ServiceBreakdown {
+                id: io,
+                background: false,
+                submit: SimTime::from_micros(submit),
+                start: SimTime::from_micros(start),
+                end: SimTime::from_micros(end),
+                seek: Duration::from_micros(seek),
+                rotation: Duration::from_micros(rotation),
+                transfer: Duration::from_micros(transfer),
+                spinup_stall: Duration::from_micros(stall),
+                bg_interference: Duration::from_micros(interference),
+            },
+        );
+    }
+    c.close_request(1, SimTime::from_micros(close_at));
+    c.end_bg(bg, SimTime::from_micros(close_at));
+    let (mut spans, bgs) = c.into_finished();
+    assert_eq!(spans.len(), 1);
+    (spans.pop().unwrap(), bgs)
+}
+
+proptest! {
+    #[test]
+    fn prop_span_tree_invariants(
+        begin in 0u64..1_000_000,
+        legs in prop::collection::vec(leg_strategy(), 1..6),
+    ) {
+        let (span, _) = build_span(begin, &legs);
+
+        // end ≥ begin, legs nested, slices sum to leg intervals.
+        prop_assert!(span.end >= span.begin);
+        span.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(span.legs.len(), legs.len());
+
+        // Critical-path attribution conserves the span duration exactly
+        // (integer microseconds: "within rounding" is zero here).
+        let path = critical_path(&span);
+        prop_assert_eq!(path.total_us, span.duration().as_micros());
+        prop_assert_eq!(
+            path.attributed_us() + path.unattributed_us,
+            path.total_us,
+            "phase totals + unattributed must equal the span duration"
+        );
+    }
+
+    #[test]
+    fn prop_single_leg_at_begin_attributes_fully(
+        begin in 0u64..1_000_000,
+        leg in leg_strategy(),
+    ) {
+        // A leg submitted at admission (how user sub-I/Os behave in the
+        // simulator) leaves nothing unattributed.
+        let mut leg = leg;
+        leg.0 = 0;
+        let (span, _) = build_span(begin, std::slice::from_ref(&leg));
+        let path = critical_path(&span);
+        prop_assert_eq!(path.unattributed_us, 0);
+        prop_assert_eq!(path.attributed_us(), span.duration().as_micros());
+    }
+
+    #[test]
+    fn prop_analysis_attribution_bounded(
+        begin in 0u64..100_000,
+        spans in prop::collection::vec(
+            prop::collection::vec(leg_strategy(), 1..4), 1..10),
+    ) {
+        let mut analysis = SpanAnalysis::default();
+        for legs in &spans {
+            let (span, _) = build_span(begin, legs);
+            analysis.observe(&span);
+        }
+        let f = analysis.all.attributed_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        let total: u64 = analysis.all.phase_us.iter().sum();
+        prop_assert!(total + analysis.all.unattributed_us == analysis.all.total_us);
+    }
+
+    #[test]
+    fn prop_interference_links_bg_causality(
+        begin in 0u64..100_000,
+        leg in leg_strategy(),
+    ) {
+        let mut leg = leg;
+        leg.2 = leg.2.max(1); // force non-zero interference
+        let (span, bgs) = build_span(begin, std::slice::from_ref(&leg));
+        // Leg 0 runs on disk 0, which the destage span covers.
+        let l = &span.legs[0];
+        prop_assert_eq!(l.delayed_by, Some(bgs[0].id));
+        prop_assert!(bgs[0].delayed.contains(&span.id));
+    }
+}
