@@ -23,7 +23,7 @@ const MIN_ATTRIBUTED: f64 = 0.95;
 
 /// Short column headers, in [`Phase::ALL`] order.
 const COLS: [&str; rolo_obs::NUM_PHASES] = [
-    "queue", "seek", "rot", "xfer", "log", "mirror", "spinup", "destage", "redir",
+    "queue", "seek", "rot", "xfer", "log", "mirror", "spinup", "destage", "redir", "compact",
 ];
 
 #[derive(Debug, Clone, Serialize)]

@@ -272,8 +272,90 @@ fn main() {
             eprintln!("check: {violations} per-disk timestamp violations");
             std::process::exit(1);
         }
+        // Segment lifecycle: sealing, compacting or archiving a segment
+        // the stream never allocated (or retiring a frame no archive
+        // produced) means the journal emitted events out of lifecycle
+        // order — the DESIGN.md §10 state machine was violated.
+        use rolo_obs::SimEvent;
+        let mut allocated: BTreeMap<usize, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        let mut archived_frames: BTreeMap<usize, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        let mut lifecycle_violations = 0u64;
+        fn require_alloc(
+            allocated: &BTreeMap<usize, std::collections::BTreeSet<u64>>,
+            i: usize,
+            disk: usize,
+            segment: u64,
+            what: &str,
+            n: &mut u64,
+        ) {
+            if !allocated.get(&disk).is_some_and(|s| s.contains(&segment)) {
+                *n += 1;
+                eprintln!(
+                    "event {i}: {what} references never-allocated segment \
+                     {segment} on disk {disk}"
+                );
+            }
+        }
+        for (i, ev) in events.iter().enumerate() {
+            match &ev.event {
+                SimEvent::SegmentAllocated { disk, segment } => {
+                    allocated.entry(*disk).or_default().insert(*segment);
+                }
+                SimEvent::SegmentSealed { disk, segment, .. } => {
+                    require_alloc(
+                        &allocated,
+                        i,
+                        *disk,
+                        *segment,
+                        "SegmentSealed",
+                        &mut lifecycle_violations,
+                    );
+                }
+                SimEvent::SegmentCompacted { disk, segment, .. } => {
+                    require_alloc(
+                        &allocated,
+                        i,
+                        *disk,
+                        *segment,
+                        "SegmentCompacted",
+                        &mut lifecycle_violations,
+                    );
+                }
+                SimEvent::SegmentArchived {
+                    disk,
+                    segment,
+                    frame,
+                    ..
+                } => {
+                    require_alloc(
+                        &allocated,
+                        i,
+                        *disk,
+                        *segment,
+                        "SegmentArchived",
+                        &mut lifecycle_violations,
+                    );
+                    archived_frames.entry(*disk).or_default().insert(*frame);
+                }
+                SimEvent::ArchiveFrameRetired { disk, frame }
+                    if !archived_frames.get(disk).is_some_and(|s| s.contains(frame)) =>
+                {
+                    lifecycle_violations += 1;
+                    eprintln!(
+                        "event {i}: ArchiveFrameRetired references never-archived \
+                         frame {frame} on disk {disk}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        if lifecycle_violations > 0 {
+            eprintln!("check: {lifecycle_violations} segment-lifecycle violations");
+            std::process::exit(1);
+        }
         println!(
-            "check: {} JSONL lines parse cleanly, per-disk timestamps monotone",
+            "check: {} JSONL lines parse cleanly, per-disk timestamps monotone, \
+             segment lifecycle ordered",
             text.lines().count()
         );
     }

@@ -101,6 +101,25 @@ pub struct SimConfig {
     pub seed: u64,
     /// Faults to inject during the run (none by default).
     pub faults: FaultPlan,
+    /// Size of one log segment in the segment store (DESIGN.md §10).
+    pub log_segment: u64,
+    /// Sealed segments whose live fraction falls below this threshold
+    /// become background-compaction candidates.
+    pub compact_live_frac: f64,
+    /// Age after which an archived log frame is retired (deleted).
+    pub archive_ttl: Duration,
+}
+
+fn default_log_segment() -> u64 {
+    4 << 20
+}
+
+fn default_compact_live_frac() -> f64 {
+    0.25
+}
+
+fn default_archive_ttl() -> Duration {
+    Duration::from_secs(60)
 }
 
 impl SimConfig {
@@ -127,6 +146,9 @@ impl SimConfig {
             disk: DiskParams::ultrastar_36z15(),
             seed: 0x5eed,
             faults: FaultPlan::none(),
+            log_segment: default_log_segment(),
+            compact_live_frac: default_compact_live_frac(),
+            archive_ttl: default_archive_ttl(),
         }
     }
 
@@ -203,6 +225,14 @@ impl SimConfig {
         }
         if self.graid_log_capacity > self.disk.capacity_bytes {
             return Err(ConfigError::Tunable("GRAID log capacity exceeds the disk"));
+        }
+        if self.log_segment < 4096 || self.log_segment > self.logger_region {
+            return Err(ConfigError::Tunable("log segment size out of range"));
+        }
+        if !(0.0..1.0).contains(&self.compact_live_frac) {
+            return Err(ConfigError::Tunable(
+                "compaction live fraction out of range",
+            ));
         }
         self.faults
             .check(self.disk_count())

@@ -130,6 +130,9 @@ pub struct SimCtx {
     destage_spans: HashMap<Option<usize>, u64>,
     /// Open rebuild span ids, keyed by the slot being rebuilt.
     rebuild_spans: HashMap<DiskId, u64>,
+    /// Open compaction span ids, keyed by the pair being compacted
+    /// (`None` for whole-log compactors).
+    compaction_spans: HashMap<Option<usize>, u64>,
 }
 
 /// Pre-registered hot-path metric ids, so emit points index the registry
@@ -230,6 +233,7 @@ impl SimCtx {
             spans: None,
             destage_spans: HashMap::new(),
             rebuild_spans: HashMap::new(),
+            compaction_spans: HashMap::new(),
         }
     }
 
@@ -299,6 +303,27 @@ impl SimCtx {
     /// Closes the destage background span keyed by `pair`, if open.
     pub fn span_destage_end(&mut self, pair: Option<usize>) {
         if let Some(id) = self.destage_spans.remove(&pair) {
+            if let Some(s) = &mut self.spans {
+                s.end_bg(id, self.now);
+            }
+        }
+    }
+
+    /// Opens a compaction background span covering `disks`: foreground
+    /// legs delayed behind the relocation transfers on those disks are
+    /// charged to the `Compaction` phase instead of
+    /// `DestageInterference`, keeping attribution conserved while
+    /// separating the two background causes.
+    pub fn span_compaction_begin(&mut self, pair: Option<usize>, disks: &[DiskId]) {
+        if let Some(s) = &mut self.spans {
+            let id = s.begin_bg(BgSpanKind::Compaction, disks, self.now);
+            self.compaction_spans.insert(pair, id);
+        }
+    }
+
+    /// Closes the compaction background span keyed by `pair`, if open.
+    pub fn span_compaction_end(&mut self, pair: Option<usize>) {
+        if let Some(id) = self.compaction_spans.remove(&pair) {
             if let Some(s) = &mut self.spans {
                 s.end_bg(id, self.now);
             }
@@ -700,6 +725,10 @@ impl SimCtx {
         );
         spare.set_bg_idle_guard(self.bg_idle_guard);
         spare.set_scheduler(self.scheduler);
+        // The spare must inherit span recording, or every leg it serves
+        // vanishes from its request's critical path (unattributed gaps
+        // in post-failure attribution).
+        spare.set_record_breakdown(self.spans.is_some());
         self.disks[disk] = spare;
         self.degraded.insert(disk, self.now);
         let epoch = u64::from(self.epochs[disk]);

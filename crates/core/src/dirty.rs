@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 /// assert_eq!((off, len), (0, 8192));
 /// assert!(d.is_clean());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirtyMap {
     /// offset → length; disjoint and non-adjacent.
     extents: BTreeMap<u64, u64>,

@@ -493,13 +493,14 @@ fn run_scheme_inner(
             (report, sink, spans)
         }
         Scheme::Graid => {
-            let policy = crate::graid::GraidPolicy::new(
+            let mut policy = crate::graid::GraidPolicy::new(
                 cfg.pairs,
                 cfg.graid_log_disk(),
                 cfg.graid_log_capacity,
                 cfg.destage_threshold,
                 cfg.destage_chunk,
             );
+            policy.set_segment_tuning(cfg.log_segment, cfg.archive_ttl);
             let (report, _, sink, spans) =
                 run_trace_inner(cfg, records, policy, duration, sink, spans);
             (report, sink, spans)
@@ -519,6 +520,7 @@ fn run_scheme_inner(
                 cfg.destage_chunk,
             );
             policy.set_eager_spinup(cfg.eager_spinup);
+            policy.set_segment_tuning(cfg.log_segment, cfg.compact_live_frac, cfg.archive_ttl);
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_loggers(cfg.rolo_on_duty);
             }
@@ -537,6 +539,7 @@ fn run_scheme_inner(
                 cfg.roloe_idle_spindown,
                 cfg.roloe_cache_fraction,
             );
+            policy.set_segment_tuning(cfg.log_segment, cfg.archive_ttl);
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_pairs(cfg.rolo_on_duty);
             }

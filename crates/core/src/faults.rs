@@ -59,6 +59,16 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that kills exactly one disk at one instant — the shape
+    /// every crash-point replay study uses (kill a logger mid-write,
+    /// then assert the replayed dirty maps match the survivors').
+    pub fn single(disk: usize, at: Duration) -> Self {
+        FaultPlan {
+            disk_failures: vec![(disk, at)],
+            ..FaultPlan::none()
+        }
+    }
+
     /// True if this plan can never produce a fault.
     pub fn is_none(&self) -> bool {
         self.disk_failures.is_empty()

@@ -18,11 +18,18 @@ use crate::faults::surviving_partner;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
+use crate::segment::{replay_journals, LogManifest, SegmentStore};
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_obs::{LegFlavor, SimEvent};
+use rolo_sim::Duration;
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Default log-segment size (bytes) until the driver tunes it.
+const DEFAULT_SEG_BYTES: u64 = 4 << 20;
+/// Default archive-frame TTL (µs) until the driver tunes it.
+const DEFAULT_ARCHIVE_TTL_US: u64 = 60_000_000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -43,6 +50,10 @@ struct UserMeta {
     marks: Vec<(usize, u64, u64)>,
     /// Extents freshly written in place on the mirror at completion.
     clears: Vec<(usize, u64, u64)>,
+    /// Journal record ids, index-aligned with `marks`; committed with a
+    /// fresh LSN when the request acks. Emptied wholesale if the log
+    /// disk dies mid-flight (the wiped journal restarts record ids).
+    appends: Vec<u64>,
 }
 
 /// The GRAID controller.
@@ -53,6 +64,16 @@ pub struct GraidPolicy {
     threshold: f64,
     chunk: u64,
     log: LoggerSpace,
+    /// Checksummed record journal mirroring the log disk's contents
+    /// (DESIGN.md §10). GRAID runs no compactor: the whole-log destage
+    /// cycle reclaims every segment wholesale, so fragmentation never
+    /// accumulates between cycles.
+    journal: SegmentStore,
+    /// Controller-durable (NVRAM) clear/reclaim journal (§III-E).
+    manifest: LogManifest,
+    next_lsn: u64,
+    seg_bytes: u64,
+    archive_ttl_us: u64,
     dirty: Vec<DirtyMap>,
     chain_active: Vec<bool>,
     mode: Mode,
@@ -88,6 +109,11 @@ impl GraidPolicy {
             threshold,
             chunk,
             log: LoggerSpace::new(0, log_capacity),
+            journal: SegmentStore::new(DEFAULT_SEG_BYTES),
+            manifest: LogManifest::new(),
+            next_lsn: 0,
+            seg_bytes: DEFAULT_SEG_BYTES,
+            archive_ttl_us: DEFAULT_ARCHIVE_TTL_US,
             dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
             chain_active: vec![false; pairs],
             mode: Mode::Logging,
@@ -110,6 +136,128 @@ impl GraidPolicy {
     /// Total stale bytes across all mirrors.
     pub fn dirty_bytes(&self) -> u64 {
         self.dirty.iter().map(|d| d.bytes()).sum()
+    }
+
+    /// Tunes the journal geometry (before the run starts); resets the
+    /// journal.
+    pub fn set_segment_tuning(&mut self, seg_bytes: u64, archive_ttl: Duration) {
+        self.seg_bytes = seg_bytes;
+        self.archive_ttl_us = archive_ttl.as_micros();
+        self.journal = SegmentStore::new(seg_bytes);
+    }
+
+    /// Read-only view of the log disk's journal (tests).
+    pub fn journal(&self) -> &SegmentStore {
+        &self.journal
+    }
+
+    /// The controller-durable log manifest (tests).
+    pub fn manifest(&self) -> &LogManifest {
+        &self.manifest
+    }
+
+    fn alloc_lsn(&mut self) -> u64 {
+        self.next_lsn += 1;
+        self.next_lsn
+    }
+
+    /// Appends a journal record for one logged extent, emitting segment
+    /// lifecycle events as segments seal and open.
+    fn journal_append(&mut self, ctx: &mut SimCtx, pair: usize, lba: u64, len: u64) -> u64 {
+        let disk = self.log_disk;
+        let out = self.journal.append(pair, self.period, lba, len);
+        if let Some((segment, live_bytes)) = out.sealed {
+            ctx.emit(|| SimEvent::SegmentSealed {
+                disk,
+                segment,
+                live_bytes,
+            });
+        }
+        if let Some(segment) = out.opened {
+            ctx.emit(|| SimEvent::SegmentAllocated { disk, segment });
+        }
+        out.rid
+    }
+
+    /// Journals a dirty-map clear at the same instant the in-memory
+    /// `clear_range` / `take_next` happens.
+    fn journal_clear(&mut self, pair: usize, off: u64, len: u64) {
+        let lsn = self.alloc_lsn();
+        self.manifest.clear(lsn, pair, off, len);
+        self.journal.clear_extent(pair, off, len);
+    }
+
+    /// Archives fully-dead sealed segments and retires expired frames.
+    fn sweep_archives(&mut self, ctx: &mut SimCtx) {
+        let disk = self.log_disk;
+        let now_us = ctx.now.as_micros();
+        for segment in self.journal.archive_ready() {
+            let (frame, compressed_bytes) = self.journal.archive(segment, now_us);
+            ctx.emit(|| SimEvent::SegmentArchived {
+                disk,
+                segment,
+                frame,
+                compressed_bytes,
+            });
+        }
+        for frame in self.journal.retire_expired(now_us, self.archive_ttl_us) {
+            ctx.emit(|| SimEvent::ArchiveFrameRetired { disk, frame });
+        }
+    }
+
+    /// Recovery-by-replay after a disk death. GRAID keeps its sole
+    /// journal on the dedicated log disk, so a log-disk death leaves no
+    /// surviving journal: every pair with a committed record newer than
+    /// its manifest watermark is lost to replay and falls back to the
+    /// controller's NVRAM dirty map (which the ensuing whole-array
+    /// destage then flushes from the primaries). Any other death leaves
+    /// the journal intact and replay must reconstruct every pair.
+    fn replay_after_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        self.stats.log_replays += 1;
+        ctx.emit(|| SimEvent::ReplayStarted { disk });
+        let survivors: Vec<&SegmentStore> = if disk == self.log_disk {
+            Vec::new()
+        } else {
+            vec![&self.journal]
+        };
+        let outcome = replay_journals(survivors, &self.manifest, self.pairs);
+        self.stats.torn_records += outcome.torn_records;
+        if outcome.torn_records > 0 {
+            let count = outcome.torn_records;
+            ctx.emit(|| SimEvent::TornRecordDetected { disk, count });
+        }
+        let lost: HashSet<usize> = if disk == self.log_disk {
+            self.journal
+                .committed_records()
+                .into_iter()
+                .filter(|&(lsn, pair)| lsn > self.manifest.pair_stable(pair))
+                .map(|(_, pair)| pair)
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        let mut divergent_pairs = 0u64;
+        for (pair, map) in outcome.maps.iter().enumerate() {
+            if lost.contains(&pair) {
+                continue;
+            }
+            if *map == self.dirty[pair] {
+                // Install the replayed map: load-bearing (the controller
+                // proceeds on reconstructed state) yet behavior-identical.
+                self.dirty[pair] = map.clone();
+            } else {
+                divergent_pairs += 1;
+                self.stats.replay_divergence += 1;
+            }
+        }
+        let records = outcome.records_scanned;
+        let torn = outcome.torn_records;
+        ctx.emit(|| SimEvent::ReplayCompleted {
+            disk,
+            records,
+            torn,
+            divergent_pairs,
+        });
     }
 
     fn mirror(&self, ctx: &SimCtx, pair: usize) -> DiskId {
@@ -157,6 +305,7 @@ impl GraidPolicy {
         }
         match self.dirty[pair].take_next(self.chunk) {
             Some((off, len)) => {
+                self.journal_clear(pair, off, len);
                 self.chain_active[pair] = true;
                 let p = ctx.geometry().primary_disk(pair);
                 let id = ctx.submit(p, IoKind::Read, off, len, Priority::Background);
@@ -175,8 +324,16 @@ impl GraidPolicy {
         if busy || dirty {
             return;
         }
-        // Cycle complete: reclaim the whole log, resume logging.
+        // Cycle complete: reclaim the whole log, resume logging. Every
+        // journal segment is now fully dead, so the sweep archives them
+        // wholesale — GRAID needs no background compactor.
         self.log.reclaim(|_| true);
+        for pair in 0..self.pairs {
+            let lsn = self.alloc_lsn();
+            self.manifest.reclaim(lsn, pair);
+            self.journal.reclaim_pair(pair);
+        }
+        self.sweep_archives(ctx);
         ctx.log_timeline.push(ctx.now, 0.0);
         let energy = ctx.total_energy();
         if let Some(tok) = self.destaging_token.take() {
@@ -275,6 +432,8 @@ impl Policy for GraidPolicy {
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
                             }
+                            let rid = self.journal_append(ctx, ext.pair, ext.offset, ext.bytes);
+                            meta.appends.push(rid);
                             meta.marks.push((ext.pair, ext.offset, ext.bytes));
                         }
                         None => {
@@ -314,7 +473,13 @@ impl Policy for GraidPolicy {
             Tag::User(user) => {
                 if ctx.user_sub_done(user).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
-                    for (pair, off, len) in meta.marks {
+                    for (i, (pair, off, len)) in meta.marks.into_iter().enumerate() {
+                        // The ack instant is the commit point: stamp the
+                        // journal record with the mutation's LSN.
+                        let lsn = self.alloc_lsn();
+                        if let Some(&rid) = meta.appends.get(i) {
+                            self.journal.commit(rid, lsn);
+                        }
                         self.dirty[pair].mark(off, len);
                         // Newly stale data may arrive mid-destage; keep the
                         // pump moving.
@@ -323,6 +488,7 @@ impl Policy for GraidPolicy {
                         }
                     }
                     for (pair, off, len) in meta.clears {
+                        self.journal_clear(pair, off, len);
                         self.dirty[pair].clear_range(off, len);
                     }
                 }
@@ -374,8 +540,15 @@ impl Policy for GraidPolicy {
         let plan = recovery_plan(crate::config::Scheme::Graid, ctx.geometry(), disk, 0, &[]);
         if disk == self.log_disk {
             // The log held only second copies, but they were the sole
-            // redundancy for stale mirror blocks: drop the now-gone log
-            // contents and destage everything dirty from the primaries.
+            // redundancy for stale mirror blocks: replay what the
+            // manifest can vouch for (lost pairs fall back to the NVRAM
+            // dirty maps), drop the now-gone log contents and destage
+            // everything dirty from the primaries.
+            self.replay_after_failure(ctx, disk);
+            self.journal = SegmentStore::new(self.seg_bytes);
+            for meta in self.user_meta.values_mut() {
+                meta.appends.clear();
+            }
             self.log.reclaim(|_| true);
             ctx.log_timeline.push(ctx.now, 0.0);
             ctx.begin_rebuild(&plan, 0);
@@ -429,11 +602,27 @@ impl Policy for GraidPolicy {
     }
 
     fn stats(&self) -> PolicyStats {
-        self.stats
+        let mut s = self.stats;
+        let js = self.journal.stats();
+        s.segments_sealed += js.sealed_segments;
+        s.segments_archived += js.archived_segments;
+        s.frames_retired += js.retired_frames;
+        s.compacted_bytes += js.compacted_bytes;
+        s
     }
 
     fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
         self.log.check_invariants()?;
+        self.journal
+            .check_invariants()
+            .map_err(|e| format!("journal {}: {e}", self.log_disk))?;
+        if self.journal.live_bytes() != 0 {
+            return Err(format!(
+                "journal {} still tracks {} live bytes",
+                self.log_disk,
+                self.journal.live_bytes()
+            ));
+        }
         for (pair, d) in self.dirty.iter().enumerate() {
             d.check_invariants()?;
             if !d.is_clean() {

@@ -41,6 +41,7 @@ pub mod recovery;
 pub mod report;
 pub mod rolo;
 pub mod roloe;
+pub mod segment;
 
 pub use config::{ConfigError, Scheme, SimConfig};
 pub use ctx::SimCtx;
@@ -60,3 +61,7 @@ pub use recovery::{recovery_plan, RecoveryPlan};
 pub use report::SimReport;
 pub use rolo::{RoloFlavor, RoloPolicy};
 pub use roloe::RoloEPolicy;
+pub use segment::{
+    replay_journals, AppendOutcome, AppendRecord, ArchiveFrame, LogManifest, ReplayOutcome,
+    Segment, SegmentState, SegmentStats, SegmentStore,
+};

@@ -29,6 +29,21 @@ pub struct PolicyStats {
     pub deactivations: u64,
     /// Writes that bypassed the logger (deactivated/full fallback).
     pub direct_writes: u64,
+    /// Log segments sealed across all journals (DESIGN.md §10).
+    pub segments_sealed: u64,
+    /// Fully-dead log segments folded into archive frames.
+    pub segments_archived: u64,
+    /// Archive frames retired after their TTL.
+    pub frames_retired: u64,
+    /// Live bytes relocated by the background compactor.
+    pub compacted_bytes: u64,
+    /// Recovery-by-replay passes run after logger failures.
+    pub log_replays: u64,
+    /// Torn (uncommitted or checksum-failed) records found by replay.
+    pub torn_records: u64,
+    /// Replays whose reconstructed dirty maps diverged from the
+    /// controller's in-memory state (must stay zero).
+    pub replay_divergence: u64,
 }
 
 impl PolicyStats {
@@ -45,7 +60,7 @@ impl PolicyStats {
     /// `policy.*` names. Called by the driver at end of run so every
     /// scheme's counters land in the report's metrics export.
     pub fn publish(&self, registry: &mut rolo_obs::MetricsRegistry) {
-        let pairs: [(&str, u64); 9] = [
+        let pairs: [(&str, u64); 16] = [
             ("policy.rotations", self.rotations),
             ("policy.destage_cycles", self.destage_cycles),
             ("policy.destaged_bytes", self.destaged_bytes),
@@ -55,6 +70,13 @@ impl PolicyStats {
             ("policy.read_miss_spinups", self.read_miss_spinups),
             ("policy.deactivations", self.deactivations),
             ("policy.direct_writes", self.direct_writes),
+            ("policy.segments_sealed", self.segments_sealed),
+            ("policy.segments_archived", self.segments_archived),
+            ("policy.frames_retired", self.frames_retired),
+            ("policy.compacted_bytes", self.compacted_bytes),
+            ("policy.log_replays", self.log_replays),
+            ("policy.torn_records", self.torn_records),
+            ("policy.replay_divergence", self.replay_divergence),
         ];
         for (name, value) in pairs {
             let id = registry.counter(name);

@@ -19,6 +19,15 @@
 //!   copies).
 //! * **RoLo-E** — the failed disk's pair partner holds everything needed:
 //!   it spins up unless it belongs to the active logger pair.
+//!
+//! **Ordering with recovery-by-replay (DESIGN.md §10).** When the
+//! failed disk carried a segment journal, the controller first runs
+//! [`replay_journals`](crate::segment::replay_journals) over the
+//! surviving chains to reconstruct (and cross-check) the dirty maps,
+//! and only then executes this plan: the destage and rebuild the plan
+//! triggers consume the *replayed* maps, so the §III-C wake set is
+//! computed against state that is provably consistent with what the
+//! surviving logs contain.
 
 use crate::config::Scheme;
 use rolo_disk::DiskId;

@@ -35,11 +35,13 @@ use crate::faults::surviving_partner;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
+use crate::segment::{replay_journals, LogManifest, SegmentStore};
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_obs::{LegFlavor, SimEvent};
+use rolo_sim::Duration;
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Minimum fraction of the logger region still free when the *next*
 /// on-duty logger is proactively spun up, so rotation never stalls a
@@ -50,6 +52,15 @@ use std::collections::HashMap;
 const SPIN_UP_AHEAD_FRACTION: f64 = 0.02;
 /// Safety factor on the spin-up time for the rate-based look-ahead.
 const SPIN_UP_AHEAD_FACTOR: f64 = 3.0;
+
+/// Default log segment size; overridden via
+/// [`RoloPolicy::set_segment_tuning`] from
+/// [`SimConfig::log_segment`](crate::config::SimConfig).
+const DEFAULT_SEG_BYTES: u64 = 4 << 20;
+/// Default compaction live-fraction threshold.
+const DEFAULT_COMPACT_FRAC: f64 = 0.25;
+/// Default archive-frame TTL.
+const DEFAULT_ARCHIVE_TTL_US: u64 = 60_000_000;
 
 /// Which RoLo flavor the controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,12 +76,70 @@ enum Tag {
     User(u64),
     DestageRead { pair: usize, off: u64, len: u64 },
     DestageWrite { pair: usize, len: u64 },
+    CompactRead { gen: u64 },
+    CompactWrite { gen: u64 },
 }
 
 #[derive(Debug, Default)]
 struct UserMeta {
     marks: Vec<(usize, u64, u64)>,
     clears: Vec<(usize, u64, u64)>,
+    /// Journal records awaiting commit, flat to keep the write path
+    /// to one allocation: `(mark index, journal disk, record id)`. The
+    /// copies of `marks[i]` commit at a shared LSN when the request
+    /// acknowledges.
+    appends: Vec<(u32, DiskId, u64)>,
+}
+
+/// One in-flight background compaction: the relocation of a sealed
+/// segment's live extents onto the current on-duty logger(s).
+#[derive(Debug)]
+struct CompactState {
+    /// Generation guard: completions of a cancelled compaction's I/O
+    /// carry an older `gen` and are ignored.
+    gen: u64,
+    /// Journal whose segment is being compacted.
+    disk: DiskId,
+    /// The segment being emptied.
+    segment: u64,
+    /// Extents still to relocate (popped from the back).
+    extents: Vec<(usize, u64, u64)>,
+    /// The extent whose read/write chain is in flight.
+    current: Option<(usize, u64, u64)>,
+    /// Relocation writes outstanding for the current extent.
+    writes_left: u32,
+    /// Journals receiving the relocated copies.
+    targets: Vec<DiskId>,
+    /// Live bytes relocated so far.
+    relocated: u64,
+}
+
+/// Appends a record to `disk`'s journal, emitting the segment lifecycle
+/// events its allocation caused, and returns the record id.
+pub(crate) fn journal_append(
+    ctx: &mut SimCtx,
+    journals: &mut BTreeMap<DiskId, SegmentStore>,
+    disk: DiskId,
+    pair: usize,
+    period: u64,
+    lba: u64,
+    len: u64,
+) -> u64 {
+    let out = journals
+        .get_mut(&disk)
+        .expect("journal exists")
+        .append(pair, period, lba, len);
+    if let Some((segment, live_bytes)) = out.sealed {
+        ctx.emit(|| SimEvent::SegmentSealed {
+            disk,
+            segment,
+            live_bytes,
+        });
+    }
+    if let Some(segment) = out.opened {
+        ctx.emit(|| SimEvent::SegmentAllocated { disk, segment });
+    }
+    out.rid
 }
 
 /// The RoLo-P / RoLo-R controller.
@@ -91,7 +160,21 @@ pub struct RoloPolicy {
     slot_cursor: usize,
     /// Logger-space manager per disk id (mirrors always; primaries too
     /// for RoLo-R).
-    spaces: HashMap<DiskId, LoggerSpace>,
+    spaces: BTreeMap<DiskId, LoggerSpace>,
+    /// Segment-store journal per logger disk (DESIGN.md §10), parallel
+    /// to `spaces`: `spaces` manages the physical platter region, the
+    /// journal carries the crash-consistent record chain.
+    journals: BTreeMap<DiskId, SegmentStore>,
+    /// Controller-durable log metadata (clears + per-pair stable LSNs).
+    manifest: LogManifest,
+    /// Commit LSN counter: assigned when a record's mark (or a clear)
+    /// mutates a dirty map, so LSN order equals mutation order.
+    next_lsn: u64,
+    seg_bytes: u64,
+    compact_frac: f64,
+    archive_ttl_us: u64,
+    compaction: Option<CompactState>,
+    compaction_gen: u64,
     dirty: Vec<DirtyMap>,
     destage_active: Vec<bool>,
     chain_active: Vec<bool>,
@@ -132,12 +215,15 @@ impl RoloPolicy {
     ) -> Self {
         assert!(pairs > 0, "need at least one pair");
         assert!(logger_size > 0, "zero logger region");
-        let mut spaces = HashMap::new();
+        let mut spaces = BTreeMap::new();
+        let mut journals = BTreeMap::new();
         for pair in 0..pairs {
             // Mirror disks are pairs..2*pairs.
             spaces.insert(pairs + pair, LoggerSpace::new(logger_base, logger_size));
+            journals.insert(pairs + pair, SegmentStore::new(DEFAULT_SEG_BYTES));
             if flavor == RoloFlavor::Reliability {
                 spaces.insert(pair, LoggerSpace::new(logger_base, logger_size));
+                journals.insert(pair, SegmentStore::new(DEFAULT_SEG_BYTES));
             }
         }
         RoloPolicy {
@@ -150,6 +236,14 @@ impl RoloPolicy {
             rotation_cursor: 1 % pairs,
             slot_cursor: 0,
             spaces,
+            journals,
+            manifest: LogManifest::new(),
+            next_lsn: 0,
+            seg_bytes: DEFAULT_SEG_BYTES,
+            compact_frac: DEFAULT_COMPACT_FRAC,
+            archive_ttl_us: DEFAULT_ARCHIVE_TTL_US,
+            compaction: None,
+            compaction_gen: 0,
             dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
             destage_active: vec![false; pairs],
             chain_active: vec![false; pairs],
@@ -174,6 +268,329 @@ impl RoloPolicy {
     /// Disables the proactive next-logger spin-up (ablation studies).
     pub fn set_eager_spinup(&mut self, enabled: bool) {
         self.eager_spinup = enabled;
+    }
+
+    /// Configures the segment store (call before the run starts; resets
+    /// the — still empty — journals to the new segment size).
+    pub fn set_segment_tuning(&mut self, seg_bytes: u64, compact_frac: f64, archive_ttl: Duration) {
+        self.seg_bytes = seg_bytes;
+        self.compact_frac = compact_frac;
+        self.archive_ttl_us = archive_ttl.as_micros();
+        for j in self.journals.values_mut() {
+            *j = SegmentStore::new(seg_bytes);
+        }
+    }
+
+    /// Read-only view of one logger disk's journal (tests).
+    pub fn journal(&self, disk: DiskId) -> Option<&SegmentStore> {
+        self.journals.get(&disk)
+    }
+
+    /// The controller-durable log manifest (tests).
+    pub fn manifest(&self) -> &LogManifest {
+        &self.manifest
+    }
+
+    fn alloc_lsn(&mut self) -> u64 {
+        self.next_lsn += 1;
+        self.next_lsn
+    }
+
+    /// Journals a dirty-map clear: the manifest gets the op at `lsn` and
+    /// every journal's live-extent index drops the range. Call at the
+    /// same instant the in-memory `clear_range` happens.
+    fn journal_clear(&mut self, pair: usize, off: u64, len: u64) {
+        let lsn = self.alloc_lsn();
+        self.manifest.clear(lsn, pair, off, len);
+        for j in self.journals.values_mut() {
+            j.clear_extent(pair, off, len);
+        }
+    }
+
+    /// Archives every fully-dead sealed segment and retires expired
+    /// frames across all journals.
+    fn sweep_archives(&mut self, ctx: &mut SimCtx) {
+        let now_us = ctx.now.as_micros();
+        let ttl = self.archive_ttl_us;
+        for (&disk, j) in self.journals.iter_mut() {
+            for segment in j.archive_ready() {
+                let (frame, compressed_bytes) = j.archive(segment, now_us);
+                ctx.emit(|| SimEvent::SegmentArchived {
+                    disk,
+                    segment,
+                    frame,
+                    compressed_bytes,
+                });
+            }
+            for frame in j.retire_expired(now_us, ttl) {
+                ctx.emit(|| SimEvent::ArchiveFrameRetired { disk, frame });
+            }
+        }
+    }
+
+    /// Starts a background compaction if a sealed segment's live
+    /// fraction fell below the threshold and no compaction is running.
+    /// Relocation I/O is background priority, so it folds into the same
+    /// idle slots destage uses.
+    fn maybe_compact(&mut self, ctx: &mut SimCtx) {
+        if self.compaction.is_some()
+            || self.deactivated
+            || self.draining
+            || self.compact_frac <= 0.0
+        {
+            return;
+        }
+        let disks: Vec<DiskId> = self.journals.keys().copied().collect();
+        let Some((disk, segment)) = disks.iter().find_map(|&d| {
+            self.journals[&d]
+                .compaction_candidates(self.compact_frac)
+                .first()
+                .map(|&s| (d, s))
+        }) else {
+            return;
+        };
+        let extents = self.journals[&disk].live_extents_of(segment);
+        let Some(&(_, _, widest)) = extents.iter().max_by_key(|e| e.2) else {
+            return;
+        };
+        // Relocated copies go to the current on-duty logger(s); if space
+        // is tight, skip — the pair's next destage reclaims the segment
+        // anyway.
+        let Some(slot) = self.pick_slot(ctx, widest) else {
+            return;
+        };
+        let targets = self.pair_targets(ctx, slot);
+        self.compaction_gen += 1;
+        ctx.emit(|| SimEvent::CompactionStart { pair: None });
+        let mut covered = targets.clone();
+        covered.push(disk);
+        ctx.span_compaction_begin(None, &covered);
+        self.compaction = Some(CompactState {
+            gen: self.compaction_gen,
+            disk,
+            segment,
+            extents,
+            current: None,
+            writes_left: 0,
+            targets,
+            relocated: 0,
+        });
+        self.pump_compaction(ctx);
+    }
+
+    /// Issues the read leg of the next extent relocation, or finishes.
+    fn pump_compaction(&mut self, ctx: &mut SimCtx) {
+        let Some(st) = &mut self.compaction else {
+            return;
+        };
+        let Some(ext) = st.extents.pop() else {
+            self.finish_compaction(ctx);
+            return;
+        };
+        st.current = Some(ext);
+        let (gen, disk) = (st.gen, st.disk);
+        let (pair, _, len) = ext;
+        // Read from the pair's physical log blob on the source disk (the
+        // store does not track per-record placement; the blob's offset
+        // gives the seek model a representative position).
+        let src_off = self.spaces[&disk]
+            .segments()
+            .iter()
+            .find(|g| g.pair == pair)
+            .map(|g| g.offset)
+            .unwrap_or(self.logger_base);
+        let id = ctx.submit(disk, IoKind::Read, src_off, len, Priority::Background);
+        self.io_map.insert(id, Tag::CompactRead { gen });
+    }
+
+    /// The current extent's data is in memory: write it to the targets.
+    fn on_compact_read(&mut self, ctx: &mut SimCtx, gen: u64) {
+        let Some(st) = &self.compaction else {
+            return;
+        };
+        if st.gen != gen {
+            return;
+        }
+        let Some((pair, _, len)) = st.current else {
+            return;
+        };
+        let targets = st.targets.clone();
+        let period = self.period;
+        let mut writes = 0u32;
+        for target in targets {
+            let segs = self
+                .spaces
+                .get_mut(&target)
+                .and_then(|s| s.alloc(len, pair, period));
+            if let Some(segs) = segs {
+                for g in segs {
+                    let id = ctx.submit(
+                        target,
+                        IoKind::Write,
+                        g.offset,
+                        g.bytes,
+                        Priority::Background,
+                    );
+                    self.io_map.insert(id, Tag::CompactWrite { gen });
+                    writes += 1;
+                }
+            }
+        }
+        if writes == 0 {
+            // No physical space for the copies: drop this relocation and
+            // move on — the extent simply stays in its old segment.
+            if let Some(st) = &mut self.compaction {
+                st.current = None;
+            }
+            self.pump_compaction(ctx);
+        } else if let Some(st) = &mut self.compaction {
+            st.writes_left = writes;
+        }
+    }
+
+    /// A relocation write landed; on the last one, commit the relocated
+    /// records and release the old extent.
+    fn on_compact_write(&mut self, ctx: &mut SimCtx, gen: u64) {
+        let Some(st) = &mut self.compaction else {
+            return;
+        };
+        if st.gen != gen {
+            return;
+        }
+        st.writes_left -= 1;
+        if st.writes_left > 0 {
+            return;
+        }
+        let Some((pair, lba, len)) = st.current.take() else {
+            return;
+        };
+        let (disk, segment) = (st.disk, st.segment);
+        let targets = st.targets.clone();
+        let period = self.period;
+        // Clip to what the old segment still owns: a clear or overwrite
+        // that raced the relocation I/O must not be re-logged.
+        let pieces = self.journals[&disk].live_intersection(segment, pair, lba, len);
+        let mut moved = 0;
+        for (plba, plen) in pieces {
+            let lsn = self.alloc_lsn();
+            for &t in &targets {
+                let rid = journal_append(ctx, &mut self.journals, t, pair, period, plba, plen);
+                self.journals
+                    .get_mut(&t)
+                    .expect("journal exists")
+                    .commit(rid, lsn);
+            }
+            // Release the old copy from the source index — unless the
+            // source is itself a target, where the commit above already
+            // re-homed the extent.
+            if !targets.contains(&disk) {
+                self.journals
+                    .get_mut(&disk)
+                    .expect("journal exists")
+                    .clear_extent(pair, plba, plen);
+            }
+            moved += plen;
+        }
+        if let Some(j) = self.journals.get_mut(&disk) {
+            j.note_compacted(moved);
+        }
+        if let Some(st) = &mut self.compaction {
+            st.relocated += moved;
+        }
+        self.pump_compaction(ctx);
+    }
+
+    fn finish_compaction(&mut self, ctx: &mut SimCtx) {
+        let Some(st) = self.compaction.take() else {
+            return;
+        };
+        let (disk, segment, relocated_bytes) = (st.disk, st.segment, st.relocated);
+        ctx.emit(|| SimEvent::SegmentCompacted {
+            disk,
+            segment,
+            relocated_bytes,
+        });
+        ctx.emit(|| SimEvent::CompactionEnd { pair: None });
+        ctx.span_compaction_end(None);
+        // The compacted segment is usually fully dead now.
+        self.sweep_archives(ctx);
+    }
+
+    /// Cancels an in-flight compaction (logger failure): stray I/O
+    /// completions are ignored via the generation guard.
+    fn cancel_compaction(&mut self, ctx: &mut SimCtx) {
+        if self.compaction.take().is_some() {
+            ctx.emit(|| SimEvent::CompactionEnd { pair: None });
+            ctx.span_compaction_end(None);
+        }
+    }
+
+    /// Recovery-by-replay (DESIGN.md §10): scan the surviving journals,
+    /// detect torn records, rebuild the dirty maps in LSN order, and
+    /// cross-check them against the controller's in-memory state. Pairs
+    /// whose only record copies rode the dead journal (possible in
+    /// RoLo-P's single-log-copy layout) cannot be reconstructed from
+    /// disks — the controller's NVRAM map stands in for them, exactly
+    /// the §III-C fallback.
+    fn replay_after_failure(&mut self, ctx: &mut SimCtx, disk: DiskId) {
+        if self.journals.is_empty() {
+            return;
+        }
+        self.stats.log_replays += 1;
+        ctx.emit(|| SimEvent::ReplayStarted { disk });
+        let mut ids: Vec<DiskId> = self
+            .journals
+            .keys()
+            .copied()
+            .filter(|&d| d != disk)
+            .collect();
+        ids.sort_unstable();
+        let survivors = ids.iter().map(|d| &self.journals[d]);
+        let outcome = replay_journals(survivors, &self.manifest, self.pairs);
+        self.stats.torn_records += outcome.torn_records;
+        if outcome.torn_records > 0 {
+            let count = outcome.torn_records;
+            ctx.emit(|| SimEvent::TornRecordDetected { disk, count });
+        }
+        // A pair is lost to replay iff the dead journal held a committed,
+        // unstable record whose LSN no survivor also holds.
+        let mut survivor_lsns: HashSet<u64> = HashSet::new();
+        for d in &ids {
+            survivor_lsns.extend(self.journals[d].committed_records().iter().map(|&(l, _)| l));
+        }
+        let lost: HashSet<usize> = match self.journals.get(&disk) {
+            Some(j) => j
+                .committed_records()
+                .into_iter()
+                .filter(|&(lsn, pair)| {
+                    lsn > self.manifest.pair_stable(pair) && !survivor_lsns.contains(&lsn)
+                })
+                .map(|(_, pair)| pair)
+                .collect(),
+            None => HashSet::new(),
+        };
+        let mut divergent_pairs = 0u64;
+        for pair in 0..self.pairs {
+            if lost.contains(&pair) {
+                continue;
+            }
+            if outcome.maps[pair] == self.dirty[pair] {
+                // Install the replayed map: load-bearing (the controller
+                // proceeds on reconstructed state) yet behavior-identical,
+                // so traced/untraced determinism is preserved.
+                self.dirty[pair] = outcome.maps[pair].clone();
+            } else {
+                divergent_pairs += 1;
+            }
+        }
+        self.stats.replay_divergence += divergent_pairs;
+        let (records, torn) = (outcome.records_scanned, outcome.torn_records);
+        ctx.emit(|| SimEvent::ReplayCompleted {
+            disk,
+            records,
+            torn,
+            divergent_pairs,
+        });
     }
 
     /// Updates the observed append rate (bytes/s) over ~30 s windows.
@@ -427,6 +844,9 @@ impl RoloPolicy {
         }
         match self.dirty[pair].take_next(self.chunk) {
             Some((off, len)) => {
+                // The extraction clears the range from the dirty map, so
+                // it is journaled as a manifest clear at this instant.
+                self.journal_clear(pair, off, len);
                 self.chain_active[pair] = true;
                 let p = ctx.geometry().primary_disk(pair);
                 let id = ctx.submit(p, IoKind::Read, off, len, Priority::Background);
@@ -449,6 +869,18 @@ impl RoloPolicy {
         for space in self.spaces.values_mut() {
             space.reclaim(|seg| seg.pair == pair);
         }
+        // The pair's dirty map is empty, so its log is fully destaged:
+        // advance the stable LSN (pruning the manifest's clears) and drop
+        // the pair's live extents from every journal. Segments this
+        // leaves fully dead archive below; low-live ones invite the
+        // compactor into the idle slot the finished destage vacated.
+        let lsn = self.alloc_lsn();
+        self.manifest.reclaim(lsn, pair);
+        for j in self.journals.values_mut() {
+            j.reclaim_pair(pair);
+        }
+        self.sweep_archives(ctx);
+        self.maybe_compact(ctx);
         ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
         if let Some(tok) = self.destage_tokens[pair].take() {
             ctx.intervals.end(tok, ctx.now, 0.0);
@@ -592,8 +1024,12 @@ impl Policy for RoloPolicy {
                         meta.marks.push((ext.pair, ext.offset, ext.bytes));
                     }
                     // Log copies on the chosen on-duty logger disk(s).
+                    // Each copy also enters the target's journal as an
+                    // uncommitted record; the shared commit LSN is
+                    // stamped when the request acknowledges.
+
                     for target in self.pair_targets(ctx, slot) {
-                        for ext in &exts {
+                        for (i, ext) in exts.iter().enumerate() {
                             let segs = self
                                 .spaces
                                 .get_mut(&target)
@@ -613,6 +1049,16 @@ impl Policy for RoloPolicy {
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
                             }
+                            let rid = journal_append(
+                                ctx,
+                                &mut self.journals,
+                                target,
+                                ext.pair,
+                                self.period,
+                                ext.offset,
+                                ext.bytes,
+                            );
+                            meta.appends.push((i as u32, target, rid));
                         }
                     }
                     ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
@@ -645,11 +1091,23 @@ impl Policy for RoloPolicy {
             Tag::User(user) => {
                 if ctx.user_sub_done(user).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
-                    for (pair, off, len) in meta.marks {
+                    for (i, (pair, off, len)) in meta.marks.iter().copied().enumerate() {
+                        // Commit the mark's journal records at the same
+                        // instant the dirty map mutates, sharing one LSN
+                        // across the mirrored copies.
+                        let lsn = self.alloc_lsn();
+                        for &(mi, d, rid) in &meta.appends {
+                            if mi as usize == i {
+                                if let Some(j) = self.journals.get_mut(&d) {
+                                    j.commit(rid, lsn);
+                                }
+                            }
+                        }
                         self.dirty[pair].mark(off, len);
                         self.after_dirty_change(ctx, pair);
                     }
                     for (pair, off, len) in meta.clears {
+                        self.journal_clear(pair, off, len);
                         self.dirty[pair].clear_range(off, len);
                         self.after_dirty_change(ctx, pair);
                     }
@@ -669,6 +1127,8 @@ impl Policy for RoloPolicy {
                     self.pump(ctx, pair);
                 }
             }
+            Tag::CompactRead { gen } => self.on_compact_read(ctx, gen),
+            Tag::CompactWrite { gen } => self.on_compact_write(ctx, gen),
         }
     }
 
@@ -718,6 +1178,23 @@ impl Policy for RoloPolicy {
         let recent = self.pairs_holding_copies_of(pair);
         let plan = recovery_plan(scheme, ctx.geometry(), disk, self.logger_pair(), &recent);
 
+        // An in-flight compaction touching the dead disk is cancelled;
+        // its stray I/O completions are ignored via the generation guard.
+        if self
+            .compaction
+            .as_ref()
+            .is_some_and(|st| st.disk == disk || st.targets.contains(&disk))
+        {
+            self.cancel_compaction(ctx);
+        }
+
+        // Recovery-by-replay: before the dead journal is forgotten, scan
+        // the surviving chains, reconstruct the dirty maps, and verify
+        // them against the in-memory state (DESIGN.md §10).
+        if self.journals.contains_key(&disk) {
+            self.replay_after_failure(ctx, disk);
+        }
+
         // Everything logged on the dead disk is gone; its blank
         // replacement starts with an empty logging space. The in-place
         // primary copies still cover all of it, so only redundancy was
@@ -725,6 +1202,15 @@ impl Policy for RoloPolicy {
         if let Some(space) = self.spaces.get_mut(&disk) {
             *space = LoggerSpace::new(self.logger_base, self.logger_size);
             ctx.log_timeline.push(ctx.now, self.log_used_bytes() as f64);
+        }
+        if let Some(j) = self.journals.get_mut(&disk) {
+            *j = SegmentStore::new(self.seg_bytes);
+            // In-flight requests' append refs into the wiped journal are
+            // stale; drop them so their commit cannot stamp an unrelated
+            // record the fresh journal hands the same id.
+            for meta in self.user_meta.values_mut() {
+                meta.appends.retain(|&(_, d, _)| d != disk);
+            }
         }
 
         // A dead on-duty logger vacates its window slot immediately:
@@ -808,10 +1294,17 @@ impl Policy for RoloPolicy {
                 .any(|s| s.segments().iter().any(|g| g.pair == pair))
             {
                 // Segments without dirtiness: every covered block is
-                // already consistent; reclaim directly.
+                // already consistent; reclaim directly — journals and
+                // manifest advance exactly as a completed destage would.
                 for space in self.spaces.values_mut() {
                     space.reclaim(|seg| seg.pair == pair);
                 }
+                let lsn = self.alloc_lsn();
+                self.manifest.reclaim(lsn, pair);
+                for j in self.journals.values_mut() {
+                    j.reclaim_pair(pair);
+                }
+                self.sweep_archives(ctx);
             }
         }
     }
@@ -825,12 +1318,30 @@ impl Policy for RoloPolicy {
     }
 
     fn stats(&self) -> PolicyStats {
-        self.stats
+        let mut s = self.stats;
+        for j in self.journals.values() {
+            let js = j.stats();
+            s.segments_sealed += js.sealed_segments;
+            s.segments_archived += js.archived_segments;
+            s.frames_retired += js.retired_frames;
+            s.compacted_bytes += js.compacted_bytes;
+        }
+        s
     }
 
     fn check_consistency(&self, ctx: &SimCtx) -> Result<(), String> {
         for space in self.spaces.values() {
             space.check_invariants()?;
+        }
+        for (disk, j) in &self.journals {
+            j.check_invariants()
+                .map_err(|e| format!("journal {disk}: {e}"))?;
+            if j.live_bytes() != 0 {
+                return Err(format!(
+                    "journal {disk}: {} live bytes after drain",
+                    j.live_bytes()
+                ));
+            }
         }
         for (pair, d) in self.dirty.iter().enumerate() {
             d.check_invariants()?;

@@ -1,0 +1,201 @@
+//! Property suite for the log-structured segment layer (DESIGN.md §10):
+//! a pair of mirrored journals plus the controller manifest is driven
+//! through random append / commit / abandon / clear / reclaim / compact
+//! / archive / retire sequences while a reference dirty map tracks what
+//! the controller would hold in NVRAM. After every operation the
+//! segment-state invariants must hold and recovery-by-replay — from
+//! both journals *and* from either single survivor — must reconstruct
+//! the reference maps exactly.
+
+use proptest::prelude::*;
+use rolo_core::dirty::DirtyMap;
+use rolo_core::segment::{replay_journals, LogManifest, SegmentStore};
+
+const PAIRS: usize = 3;
+const SEG_BYTES: u64 = 4096 + 256;
+const BLOCK: u64 = 1024;
+const ARCHIVE_TTL_US: u64 = 5_000;
+
+/// The model: two journals receiving identical mirrored appends under
+/// shared LSNs (the RoLo invariant), the controller manifest, and the
+/// reference dirty maps mutated at each commit/clear instant.
+struct Model {
+    a: SegmentStore,
+    b: SegmentStore,
+    manifest: LogManifest,
+    dirty: Vec<DirtyMap>,
+    /// In-flight appends: `(rid_a, rid_b, pair, lba, len)`.
+    pending: Vec<(u64, u64, usize, u64, u64)>,
+    next_lsn: u64,
+    now_us: u64,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            a: SegmentStore::new(SEG_BYTES),
+            b: SegmentStore::new(SEG_BYTES),
+            manifest: LogManifest::new(),
+            dirty: (0..PAIRS).map(|_| DirtyMap::new()).collect(),
+            pending: Vec::new(),
+            next_lsn: 0,
+            now_us: 0,
+        }
+    }
+
+    fn lsn(&mut self) -> u64 {
+        self.next_lsn += 1;
+        self.next_lsn
+    }
+
+    fn step(&mut self, op: u8, pair: usize, lba: u64, len: u64) {
+        self.now_us += 1_000;
+        match op {
+            // Append one mirrored record (uncommitted: torn on a crash).
+            0 | 1 => {
+                let ra = self.a.append(pair, 0, lba, len).rid;
+                let rb = self.b.append(pair, 0, lba, len).rid;
+                self.pending.push((ra, rb, pair, lba, len));
+            }
+            // Ack the oldest in-flight request: commit both copies under
+            // one shared LSN and mark the dirty map at the same instant.
+            2 => {
+                if self.pending.is_empty() {
+                    return;
+                }
+                let (ra, rb, pair, lba, len) = self.pending.remove(0);
+                let lsn = self.lsn();
+                self.a.commit(ra, lsn);
+                self.b.commit(rb, lsn);
+                self.dirty[pair].mark(lba, len);
+            }
+            // Lose the oldest in-flight request: permanently torn.
+            3 => {
+                if self.pending.is_empty() {
+                    return;
+                }
+                let (ra, rb, _, _, _) = self.pending.remove(0);
+                self.a.abandon(ra);
+                self.b.abandon(rb);
+            }
+            // Dirty-map clear (destage extraction / direct overwrite):
+            // manifest op plus live-extent removal on every journal.
+            4 => {
+                let lsn = self.lsn();
+                self.manifest.clear(lsn, pair, lba, len);
+                self.a.clear_extent(pair, lba, len);
+                self.b.clear_extent(pair, lba, len);
+                self.dirty[pair].clear_range(lba, len);
+            }
+            // Destage completion: only legal once the pair is clean.
+            5 => {
+                if !self.dirty[pair].is_clean() {
+                    return;
+                }
+                let lsn = self.lsn();
+                self.manifest.reclaim(lsn, pair);
+                self.a.reclaim_pair(pair);
+                self.b.reclaim_pair(pair);
+            }
+            // Compaction: relocate the live extents of one mostly-dead
+            // sealed segment into the active segments of both journals.
+            // Each piece re-commits under a fresh shared LSN; the source
+            // extents are superseded by the commit itself, and the
+            // dirty map is untouched (those bytes are already marked).
+            6 => {
+                let Some(&seg) = self.a.compaction_candidates(0.5).first() else {
+                    return;
+                };
+                for (pair, lba, len) in self.a.live_extents_of(seg) {
+                    for (off, piece) in self.a.live_intersection(seg, pair, lba, len) {
+                        let lsn = self.lsn();
+                        let ra = self.a.append(pair, 0, off, piece).rid;
+                        self.a.commit(ra, lsn);
+                        let rb = self.b.append(pair, 0, off, piece).rid;
+                        self.b.commit(rb, lsn);
+                        self.a.note_compacted(piece);
+                        self.b.note_compacted(piece);
+                    }
+                }
+            }
+            // Archive sweep plus TTL retirement.
+            _ => {
+                for j in [&mut self.a, &mut self.b] {
+                    for seg in j.archive_ready() {
+                        j.archive(seg, self.now_us);
+                    }
+                    j.retire_expired(self.now_us, ARCHIVE_TTL_US);
+                }
+            }
+        }
+    }
+
+    /// Replays the given survivors and compares every pair's map to the
+    /// reference. Mirrored commits share LSNs, so even a single
+    /// survivor covers every pair.
+    fn assert_replay(&self, survivors: &[&SegmentStore]) -> Result<(), TestCaseError> {
+        let outcome = replay_journals(survivors.iter().copied(), &self.manifest, PAIRS);
+        for (pair, map) in outcome.maps.iter().enumerate() {
+            prop_assert_eq!(
+                map,
+                &self.dirty[pair],
+                "pair {} diverged (survivors: {})",
+                pair,
+                survivors.len()
+            );
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants hold and replay reconstructs the reference dirty maps
+    /// after every single operation, for the full journal set and for
+    /// either single survivor (one logger death).
+    #[test]
+    fn prop_lifecycle_invariants_and_replay(
+        ops in proptest::collection::vec(
+            (0u8..8, 0usize..PAIRS, 0u64..24, 1u64..6),
+            1..120,
+        )
+    ) {
+        let mut m = Model::new();
+        for (op, pair, block, blocks) in ops {
+            m.step(op, pair, block * BLOCK, blocks * BLOCK);
+            prop_assert!(m.a.check_invariants().is_ok(), "{:?}", m.a.check_invariants());
+            prop_assert!(m.b.check_invariants().is_ok(), "{:?}", m.b.check_invariants());
+            m.assert_replay(&[&m.a, &m.b])?;
+            m.assert_replay(&[&m.a])?;
+            m.assert_replay(&[&m.b])?;
+        }
+        // Every in-flight record left at the end scans as torn.
+        let torn = replay_journals([&m.a], &m.manifest, PAIRS).torn_records;
+        let pending_in_a = m.pending.len() as u64;
+        prop_assert!(torn >= pending_in_a);
+    }
+
+    /// Archival never drops replay coverage: archiving every eligible
+    /// segment after each step and retiring every frame immediately
+    /// still leaves single-survivor replay exact.
+    #[test]
+    fn prop_aggressive_archival_preserves_replay(
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..PAIRS, 0u64..24, 1u64..6),
+            1..80,
+        )
+    ) {
+        let mut m = Model::new();
+        for (op, pair, block, blocks) in ops {
+            m.step(op, pair, block * BLOCK, blocks * BLOCK);
+            // Immediately archive and retire everything eligible.
+            m.step(7, 0, 0, BLOCK);
+            for j in [&mut m.a, &mut m.b] {
+                j.retire_expired(u64::MAX, 0);
+            }
+            m.assert_replay(&[&m.a, &m.b])?;
+            m.assert_replay(&[&m.b])?;
+        }
+    }
+}

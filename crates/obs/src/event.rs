@@ -155,6 +155,88 @@ pub enum SimEvent {
         /// Rebuild duration in simulated microseconds.
         duration_us: u64,
     },
+    /// A fresh log segment was opened (became the append target) on a
+    /// logger disk's segment chain.
+    SegmentAllocated {
+        /// Logger disk owning the segment chain.
+        disk: DiskId,
+        /// Chain-local segment id (monotonically increasing).
+        segment: u64,
+    },
+    /// An active segment filled up and was sealed (no further appends).
+    SegmentSealed {
+        /// Logger disk owning the segment chain.
+        disk: DiskId,
+        /// Segment that sealed; must have been allocated earlier.
+        segment: u64,
+        /// Bytes still live (referenced by the dirty map) at seal time.
+        live_bytes: u64,
+    },
+    /// Live records were relocated out of a mostly-dead sealed segment.
+    SegmentCompacted {
+        /// Logger disk owning the segment chain.
+        disk: DiskId,
+        /// Segment the live records were relocated out of.
+        segment: u64,
+        /// Bytes relocated to the active segment.
+        relocated_bytes: u64,
+    },
+    /// A cold fully-destaged segment was folded into an append-only
+    /// compressed archive frame.
+    SegmentArchived {
+        /// Logger disk owning the segment chain.
+        disk: DiskId,
+        /// Segment that was archived; must have been allocated earlier.
+        segment: u64,
+        /// Archive frame the segment's records were compressed into.
+        frame: u64,
+        /// Compressed frame size in bytes.
+        compressed_bytes: u64,
+    },
+    /// An archive frame outlived its TTL and was retired (deleted).
+    ArchiveFrameRetired {
+        /// Logger disk owning the archive.
+        disk: DiskId,
+        /// Frame that was retired.
+        frame: u64,
+    },
+    /// A background compaction pass started on a pair's logger disks.
+    CompactionStart {
+        /// Mirror pair whose destage idle-slots host the pass, when
+        /// per-pair (RoLo); `None` for centralized logs.
+        pair: Option<usize>,
+    },
+    /// A background compaction pass finished.
+    CompactionEnd {
+        /// Mirror pair, when per-pair; else `None`.
+        pair: Option<usize>,
+    },
+    /// A logger disk died and recovery-by-replay began scanning the
+    /// surviving segment chains.
+    ReplayStarted {
+        /// The failed logger disk whose log state is being replayed.
+        disk: DiskId,
+    },
+    /// A record failed its checksum during a replay scan (torn by the
+    /// mid-write crash; excluded from redo).
+    TornRecordDetected {
+        /// The failed logger disk being replayed.
+        disk: DiskId,
+        /// Number of torn records found so far in this replay.
+        count: u64,
+    },
+    /// Recovery-by-replay finished reconstructing the dirty map.
+    ReplayCompleted {
+        /// The failed logger disk that was replayed.
+        disk: DiskId,
+        /// Committed records redone into the reconstructed dirty map.
+        records: u64,
+        /// Torn records detected and excluded.
+        torn: u64,
+        /// Pairs whose replayed map diverged from the live controller
+        /// state (must be 0 for a crash-consistent log).
+        divergent_pairs: u64,
+    },
     /// The trace ran out; the driver began draining in-flight work.
     TraceEnded,
 }
@@ -183,6 +265,16 @@ impl SimEvent {
             SimEvent::MediaError { .. } => "MediaError",
             SimEvent::RebuildStarted { .. } => "RebuildStarted",
             SimEvent::RebuildCompleted { .. } => "RebuildCompleted",
+            SimEvent::SegmentAllocated { .. } => "SegmentAllocated",
+            SimEvent::SegmentSealed { .. } => "SegmentSealed",
+            SimEvent::SegmentCompacted { .. } => "SegmentCompacted",
+            SimEvent::SegmentArchived { .. } => "SegmentArchived",
+            SimEvent::ArchiveFrameRetired { .. } => "ArchiveFrameRetired",
+            SimEvent::CompactionStart { .. } => "CompactionStart",
+            SimEvent::CompactionEnd { .. } => "CompactionEnd",
+            SimEvent::ReplayStarted { .. } => "ReplayStarted",
+            SimEvent::TornRecordDetected { .. } => "TornRecordDetected",
+            SimEvent::ReplayCompleted { .. } => "ReplayCompleted",
             SimEvent::TraceEnded => "TraceEnded",
         }
     }
@@ -202,6 +294,14 @@ impl SimEvent {
             SimEvent::RebuildStarted { slot, .. } | SimEvent::RebuildCompleted { slot, .. } => {
                 Some(*slot)
             }
+            SimEvent::SegmentAllocated { disk, .. }
+            | SimEvent::SegmentSealed { disk, .. }
+            | SimEvent::SegmentCompacted { disk, .. }
+            | SimEvent::SegmentArchived { disk, .. }
+            | SimEvent::ArchiveFrameRetired { disk, .. }
+            | SimEvent::ReplayStarted { disk }
+            | SimEvent::TornRecordDetected { disk, .. }
+            | SimEvent::ReplayCompleted { disk, .. } => Some(*disk),
             _ => None,
         }
     }

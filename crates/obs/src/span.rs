@@ -26,7 +26,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 
 /// Number of typed phases ([`Phase::ALL`] has one entry per phase).
-pub const NUM_PHASES: usize = 9;
+pub const NUM_PHASES: usize = 10;
 
 /// Where a slice of a request's latency went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -52,6 +52,9 @@ pub enum Phase {
     /// Media transfer of an I/O redirected to the surviving mirror
     /// partner while the array is degraded.
     DegradedRedirect,
+    /// Waiting behind a background compaction transfer (live log
+    /// records being relocated out of a mostly-dead segment).
+    Compaction,
 }
 
 impl Phase {
@@ -66,6 +69,7 @@ impl Phase {
         Phase::SpinUpStall,
         Phase::DestageInterference,
         Phase::DegradedRedirect,
+        Phase::Compaction,
     ];
 
     /// Stable dense index of this phase into `[_; NUM_PHASES]` arrays.
@@ -80,6 +84,7 @@ impl Phase {
             Phase::SpinUpStall => 6,
             Phase::DestageInterference => 7,
             Phase::DegradedRedirect => 8,
+            Phase::Compaction => 9,
         }
     }
 
@@ -95,6 +100,7 @@ impl Phase {
             Phase::SpinUpStall => "SpinUpStall",
             Phase::DestageInterference => "DestageInterference",
             Phase::DegradedRedirect => "DegradedRedirect",
+            Phase::Compaction => "Compaction",
         }
     }
 }
@@ -228,6 +234,9 @@ pub enum BgSpanKind {
     Destage,
     /// A degraded-mode rebuild onto a hot spare.
     Rebuild,
+    /// A compaction pass (live records relocated out of mostly-dead
+    /// log segments, folded into destage idle-slots).
+    Compaction,
 }
 
 /// A background activity span: a destage cycle or a rebuild, with links
@@ -321,24 +330,33 @@ impl SpanCollector {
                 slices.push(PhaseSlice { phase, duration: d });
             }
         };
+        // Interference is typed by its cause: waiting behind a
+        // compaction transfer lands in `Compaction`, everything else
+        // (destage, rebuild) in `DestageInterference` — so the two
+        // background activities stay separable in the attribution
+        // table while their sum remains conserved.
+        let bg_id = if b.bg_interference.is_zero() {
+            None
+        } else {
+            self.bg_by_disk.get(&disk).copied()
+        };
+        let interference_phase = match bg_id.and_then(|i| self.bg_open.get(&i)) {
+            Some(bg) if bg.kind == BgSpanKind::Compaction => Phase::Compaction,
+            _ => Phase::DestageInterference,
+        };
         // Temporal order: the spindle comes up first, then the media
         // drains background + earlier foreground work, then this
         // transfer positions and runs.
         push(Phase::SpinUpStall, b.spinup_stall);
-        push(Phase::DestageInterference, b.bg_interference);
+        push(interference_phase, b.bg_interference);
         push(Phase::QueueWait, b.queue_wait());
         push(Phase::Seek, b.seek);
         push(Phase::Rotation, b.rotation);
         push(flavor.phase(), b.transfer);
-        let delayed_by = if b.bg_interference.is_zero() {
-            None
-        } else {
-            let bg_id = self.bg_by_disk.get(&disk).copied();
-            if let Some(bg) = bg_id.and_then(|i| self.bg_open.get_mut(&i)) {
-                bg.delayed.push(user);
-            }
-            bg_id
-        };
+        let delayed_by = bg_id;
+        if let Some(bg) = bg_id.and_then(|i| self.bg_open.get_mut(&i)) {
+            bg.delayed.push(user);
+        }
         span.legs.push(SpanLeg {
             io,
             disk,
@@ -757,6 +775,24 @@ mod tests {
         let bg_span = bgs.iter().find(|s| s.id == bg).unwrap();
         assert_eq!(bg_span.delayed, vec![2]);
         assert_eq!(bg_span.end, Some(SimTime::from_micros(500)));
+    }
+
+    #[test]
+    fn compaction_interference_is_typed_separately() {
+        let mut c = SpanCollector::new();
+        let bg = c.begin_bg(BgSpanKind::Compaction, &[2], SimTime::ZERO);
+        c.open_request(4, ReqKind::Read, SimTime::from_micros(10));
+        c.tag_io(40, 4, LegFlavor::Transfer);
+        c.record_leg(40, 2, &breakdown(40, 10, 60, 100, 0, 0, 0, 50));
+        c.close_request(4, SimTime::from_micros(100));
+        c.end_bg(bg, SimTime::from_micros(200));
+        let (spans, bgs) = c.into_finished();
+        let path = critical_path(&spans[0]);
+        assert_eq!(path.phase_us[Phase::Compaction.index()], 50);
+        assert_eq!(path.phase_us[Phase::DestageInterference.index()], 0);
+        assert_eq!(spans[0].legs[0].delayed_by, Some(bg));
+        let bg_span = bgs.iter().find(|s| s.id == bg).unwrap();
+        assert_eq!(bg_span.delayed, vec![4]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use rolo_disk::ServiceBreakdown;
 use rolo_obs::{
-    critical_path, BgSpan, BgSpanKind, LegFlavor, RequestSpan, SpanAnalysis, SpanCollector,
+    critical_path, BgSpan, BgSpanKind, LegFlavor, Phase, RequestSpan, SpanAnalysis, SpanCollector,
 };
 use rolo_sim::{Duration, SimTime};
 use rolo_trace::ReqKind;
@@ -40,9 +40,15 @@ const FLAVORS: [LegFlavor; 4] = [
 /// Builds a finished span from drawn legs via the collector API,
 /// exactly the way the simulation driver does.
 fn build_span(begin: u64, legs: &[LegDraw]) -> (RequestSpan, Vec<BgSpan>) {
+    build_span_under(BgSpanKind::Destage, begin, legs)
+}
+
+/// Same, with the covering background span of a chosen kind (destage
+/// vs. compaction interference are attributed to different phases).
+fn build_span_under(kind: BgSpanKind, begin: u64, legs: &[LegDraw]) -> (RequestSpan, Vec<BgSpan>) {
     let mut c = SpanCollector::new();
     let disks: Vec<usize> = (0..legs.len()).collect();
-    let bg = c.begin_bg(BgSpanKind::Destage, &disks, SimTime::from_micros(begin));
+    let bg = c.begin_bg(kind, &disks, SimTime::from_micros(begin));
     c.open_request(1, ReqKind::Write, SimTime::from_micros(begin));
     let mut close_at = begin;
     for (i, &(submit_delta, stall, interference, queue, (seek, rotation, transfer), flavor)) in
@@ -146,5 +152,38 @@ proptest! {
         let l = &span.legs[0];
         prop_assert_eq!(l.delayed_by, Some(bgs[0].id));
         prop_assert!(bgs[0].delayed.contains(&span.id));
+    }
+
+    /// Interference under an open compaction span is attributed to the
+    /// `Compaction` phase — and only the interference slice moves there;
+    /// the attribution identity stays conserved, so DestageInterference
+    /// totals are never double-counted against compaction.
+    #[test]
+    fn prop_compaction_interference_typed_and_conserved(
+        begin in 0u64..100_000,
+        leg in leg_strategy(),
+    ) {
+        let mut leg = leg;
+        leg.0 = 0; // submit at admission: nothing unattributed
+        leg.2 = leg.2.max(1); // force non-zero interference
+        let (span, bgs) = build_span_under(
+            BgSpanKind::Compaction, begin, std::slice::from_ref(&leg));
+        prop_assert_eq!(bgs[0].kind, BgSpanKind::Compaction);
+        let path = critical_path(&span);
+        let compact_us = path.phase_us[Phase::Compaction.index()];
+        prop_assert_eq!(compact_us, leg.2, "interference slice must land in Compaction");
+        prop_assert_eq!(
+            path.phase_us[Phase::DestageInterference.index()], 0,
+            "no destage ran: nothing may be typed as destage interference"
+        );
+        prop_assert_eq!(path.attributed_us() + path.unattributed_us, path.total_us);
+        prop_assert_eq!(path.unattributed_us, 0);
+
+        // The same legs under a destage span attribute the identical
+        // slice to DestageInterference instead.
+        let (span_d, _) = build_span(begin, std::slice::from_ref(&leg));
+        let path_d = critical_path(&span_d);
+        prop_assert_eq!(path_d.phase_us[Phase::DestageInterference.index()], leg.2);
+        prop_assert_eq!(path_d.phase_us[Phase::Compaction.index()], 0);
     }
 }

@@ -1,11 +1,16 @@
-//! Property tests of the §III-C recovery planner: for every scheme,
-//! array width and live-state shape, the plan must be well-formed —
-//! disjoint wake/silent sets, no self-recovery, and never more
-//! participants than the array holds.
+//! Property tests of the §III-C recovery planner and of
+//! recovery-by-replay (DESIGN.md §10): for every scheme, array width
+//! and live-state shape, the plan must be well-formed — disjoint
+//! wake/silent sets, no self-recovery, never more participants than
+//! the array holds — and killing a journal-bearing disk at a
+//! randomized crash point must trigger a replay whose reconstructed
+//! dirty maps match the controller's state exactly.
 
 use proptest::prelude::*;
-use rolo::core::{recovery_plan, Scheme};
+use rolo::core::{recovery_plan, Scheme, SimConfig};
 use rolo::raid::ArrayGeometry;
+use rolo::sim::Duration;
+use rolo::trace::SyntheticConfig;
 
 fn check_plan(
     scheme: Scheme,
@@ -103,5 +108,66 @@ proptest! {
                 check_plan(scheme, pairs, failed, logger_pair, &[logger_pair])?;
             }
         }
+    }
+}
+
+proptest! {
+    // Each case is a full trace-driven simulation: keep the sample
+    // small; the `log_recovery` smoke bin sweeps the dense crash matrix.
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 0,
+    })]
+
+    /// Randomized crash-point replay: kill a journal-bearing disk at a
+    /// random instant under a write-heavy load and require (a) a replay
+    /// pass ran and (b) it reconstructed every covered pair's dirty map
+    /// byte-identically to the controller's NVRAM state
+    /// (`policy.replay_divergence == 0`).
+    ///
+    /// The in-run comparison is transitively a comparison against the
+    /// uncrashed reference: the fault injector's pinned failure at time
+    /// T perturbs nothing before T (the event stream up to T is
+    /// byte-identical with and without the fault scheduled), so the
+    /// controller's pre-crash dirty maps — which the replayed maps must
+    /// equal — are exactly the uncrashed run's maps at T.
+    #[test]
+    fn crash_point_replay_reconstructs_dirty_maps(
+        scheme_idx in 0usize..4,
+        disk_seed in 0usize..1000,
+        crash_secs in 60u64..300,
+        trace_seed in 0u64..1000,
+    ) {
+        let scheme = [Scheme::RoloP, Scheme::RoloR, Scheme::RoloE, Scheme::Graid][scheme_idx];
+        let pairs = 4usize;
+        let mut cfg = SimConfig::paper_default(scheme, pairs);
+        cfg.disk.capacity_bytes = 256 << 20;
+        cfg.logger_region = 32 << 20;
+        cfg.graid_log_capacity = 64 << 20;
+        // A journal-bearing slot: RoLo-P journals its mirrors, RoLo-R
+        // and RoLo-E every mirrored disk, GRAID only the log disk.
+        let disk = match scheme {
+            Scheme::RoloP => pairs + disk_seed % pairs,
+            Scheme::RoloR | Scheme::RoloE => disk_seed % (2 * pairs),
+            _ => 2 * pairs,
+        };
+        cfg.faults.disk_failures = vec![(disk, Duration::from_secs(crash_secs))];
+        let dur = Duration::from_secs(400);
+        let wl = SyntheticConfig::motivation_write_only(40.0);
+        let report = rolo::core::run_scheme(&cfg, wl.generator(dur, trace_seed), dur);
+        report
+            .consistency
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        let metric = |name: &str| report.metrics.get(name).map(|m| m.value).unwrap_or(0.0);
+        prop_assert_eq!(report.faults.disk_failures, 1, "{}: fault never fired", scheme);
+        prop_assert!(
+            metric("policy.log_replays") >= 1.0,
+            "{scheme}: killing journal disk {disk} ran no replay"
+        );
+        prop_assert_eq!(
+            metric("policy.replay_divergence"), 0.0,
+            "{}: replayed dirty maps diverged from the controller's", scheme
+        );
     }
 }
