@@ -24,6 +24,7 @@ const MIN_ATTRIBUTED: f64 = 0.95;
 /// Short column headers, in [`Phase::ALL`] order.
 const COLS: [&str; rolo_obs::NUM_PHASES] = [
     "queue", "seek", "rot", "xfer", "log", "mirror", "spinup", "destage", "redir", "compact",
+    "scrub",
 ];
 
 #[derive(Debug, Clone, Serialize)]

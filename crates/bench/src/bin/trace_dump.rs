@@ -11,10 +11,17 @@
 //! * `trace`  — a Table III profile name (default src2_2)
 //! * `hours`  — simulated window (default 1)
 //! * `--out`  — JSONL output path (default `results/trace_dump.jsonl`)
+//! * `--scrub` — shrink the disks, enable the background scrub and
+//!   latent-error injection (DESIGN.md §11) so scrub events appear in
+//!   the stream.
 //! * `--check` — re-parse every emitted line with the vendored JSON
 //!   parser and validate that events touching the same disk carry
 //!   non-decreasing timestamps; exit non-zero on any malformed line or
-//!   time-travel (the CI guard).
+//!   time-travel (the CI guard). With `--scrub` it additionally checks
+//!   the scrub lifecycle: per disk, every pass opens with `ScrubStart`,
+//!   repairs land only inside an open pass, `ScrubComplete` closes the
+//!   pass it opened, and no scrub event ever touches a disk whose
+//!   tracked power state is spun down.
 
 use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
 use rolo_obs::{RingSink, TracedEvent};
@@ -35,6 +42,7 @@ struct Args {
     pairs: usize,
     out: Option<String>,
     check: bool,
+    scrub: bool,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +54,7 @@ fn parse_args() -> Args {
         pairs: 4,
         out: None,
         check: false,
+        scrub: false,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -61,6 +70,7 @@ fn parse_args() -> Args {
             "--pairs" => args.pairs = val("--pairs").parse().expect("pairs"),
             "--out" => args.out = Some(val("--out")),
             "--check" => args.check = true,
+            "--scrub" => args.scrub = true,
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of trace_dump.rs");
                 std::process::exit(0);
@@ -165,6 +175,16 @@ fn main() {
     let args = parse_args();
     let mut cfg = SimConfig::paper_default(args.scheme, args.pairs);
     cfg.seed = args.seed;
+    if args.scrub {
+        // Shrunk disks so full scrub passes complete inside the window,
+        // plus latent-error accrual for the scrub to find.
+        cfg.disk.capacity_bytes = 256 << 20;
+        cfg.logger_region = 32 << 20;
+        cfg.graid_log_capacity = 64 << 20;
+        cfg.scrub_enabled = true;
+        cfg.faults.lse_rate_active = 0.005;
+        cfg.faults.lse_rate_standby = 0.02;
+    }
     let profile = rolo_trace::profiles::by_name(&args.trace).unwrap_or_else(|| {
         eprintln!("unknown trace profile {}", args.trace);
         std::process::exit(2);
@@ -353,10 +373,85 @@ fn main() {
             eprintln!("check: {lifecycle_violations} segment-lifecycle violations");
             std::process::exit(1);
         }
+        // Scrub lifecycle (DESIGN.md §11): per disk, a pass opens with
+        // ScrubStart(pass), repairs land only while a pass is open, and
+        // ScrubComplete closes exactly the pass that opened. The scrub
+        // is power-aware, so no scrub event may touch a disk whose
+        // tracked power state is spun down (Standby; for the issue-time
+        // ScrubStart, SpinningDown as well).
+        let mut power: BTreeMap<usize, String> = BTreeMap::new();
+        let mut open_pass: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut scrub_violations = 0u64;
+        let mut scrub_events = 0u64;
+        let mut complain = |i: usize, msg: String| {
+            scrub_violations += 1;
+            eprintln!("event {i}: {msg}");
+        };
+        for (i, ev) in events.iter().enumerate() {
+            match &ev.event {
+                SimEvent::DiskInit { disk, state } => {
+                    power.insert(*disk, format!("{state:?}"));
+                }
+                SimEvent::DiskState { disk, to, .. } => {
+                    power.insert(*disk, format!("{to:?}"));
+                }
+                SimEvent::ScrubStart { disk, pass } => {
+                    scrub_events += 1;
+                    let state = power.get(disk).map(String::as_str).unwrap_or("?");
+                    if state == "Standby" || state == "SpinningDown" {
+                        complain(i, format!("ScrubStart on disk {disk} in state {state}"));
+                    }
+                    if let Some(open) = open_pass.insert(*disk, *pass) {
+                        complain(
+                            i,
+                            format!("ScrubStart pass {pass} on disk {disk} while pass {open} open"),
+                        );
+                    }
+                }
+                SimEvent::ScrubRepair { disk, .. } => {
+                    scrub_events += 1;
+                    if power.get(disk).map(String::as_str) == Some("Standby") {
+                        complain(i, format!("ScrubRepair on spun-down disk {disk}"));
+                    }
+                    if !open_pass.contains_key(disk) {
+                        complain(i, format!("ScrubRepair on disk {disk} with no pass open"));
+                    }
+                }
+                SimEvent::ScrubComplete { disk, pass, .. } => {
+                    scrub_events += 1;
+                    if power.get(disk).map(String::as_str) == Some("Standby") {
+                        complain(i, format!("ScrubComplete on spun-down disk {disk}"));
+                    }
+                    match open_pass.remove(disk) {
+                        Some(open) if open == *pass => {}
+                        Some(open) => complain(
+                            i,
+                            format!(
+                                "ScrubComplete pass {pass} on disk {disk} closes open pass {open}"
+                            ),
+                        ),
+                        None => complain(
+                            i,
+                            format!("ScrubComplete pass {pass} on disk {disk} with no pass open"),
+                        ),
+                    }
+                }
+                _ => {}
+            }
+        }
+        if scrub_violations > 0 {
+            eprintln!("check: {scrub_violations} scrub-lifecycle violations");
+            std::process::exit(1);
+        }
+        if args.scrub && scrub_events == 0 {
+            eprintln!("check: --scrub run produced no scrub events (vacuous check)");
+            std::process::exit(1);
+        }
         println!(
             "check: {} JSONL lines parse cleanly, per-disk timestamps monotone, \
-             segment lifecycle ordered",
-            text.lines().count()
+             segment lifecycle ordered, scrub lifecycle ordered ({} scrub events)",
+            text.lines().count(),
+            scrub_events
         );
     }
 }

@@ -108,6 +108,17 @@ pub struct SimConfig {
     pub compact_live_frac: f64,
     /// Age after which an archived log frame is retired (deleted).
     pub archive_ttl: Duration,
+    /// Run the background integrity scrub (DESIGN.md §11). Off by
+    /// default: with scrubbing disabled the simulation is event-for-
+    /// event identical to a build without the scrub engine.
+    pub scrub_enabled: bool,
+    /// Bytes verified per scrub chunk read (the scrub bandwidth knob:
+    /// chunk size over tick interval bounds the per-disk scrub rate).
+    pub scrub_chunk: u64,
+    /// Interval between scrub scheduling ticks. Each tick issues at
+    /// most one chunk per eligible disk, and only on disks that are
+    /// already spun up — the power-aware rule.
+    pub scrub_interval: Duration,
 }
 
 fn default_log_segment() -> u64 {
@@ -149,6 +160,9 @@ impl SimConfig {
             log_segment: default_log_segment(),
             compact_live_frac: default_compact_live_frac(),
             archive_ttl: default_archive_ttl(),
+            scrub_enabled: false,
+            scrub_chunk: 1 << 20,
+            scrub_interval: Duration::from_millis(500),
         }
     }
 
@@ -233,6 +247,14 @@ impl SimConfig {
             return Err(ConfigError::Tunable(
                 "compaction live fraction out of range",
             ));
+        }
+        if self.scrub_enabled {
+            if self.scrub_chunk == 0 {
+                return Err(ConfigError::Tunable("zero scrub chunk"));
+            }
+            if self.scrub_interval.is_zero() {
+                return Err(ConfigError::Tunable("zero scrub interval"));
+            }
         }
         self.faults
             .check(self.disk_count())
@@ -325,6 +347,33 @@ mod tests {
         assert!(c.check().is_ok());
         c.destage_chunk = 0;
         assert_eq!(c.check(), Err(ConfigError::Tunable("zero destage chunk")));
+    }
+
+    #[test]
+    fn check_flags_bad_scrub_knobs() {
+        let mut c = SimConfig::paper_default(Scheme::RoloE, 4);
+        c.scrub_enabled = true;
+        assert!(c.check().is_ok());
+        c.scrub_chunk = 0;
+        assert_eq!(c.check(), Err(ConfigError::Tunable("zero scrub chunk")));
+        c.scrub_chunk = 1 << 20;
+        c.scrub_interval = Duration::ZERO;
+        assert_eq!(c.check(), Err(ConfigError::Tunable("zero scrub interval")));
+        // With scrubbing disabled the knobs are inert and unchecked.
+        c.scrub_enabled = false;
+        c.scrub_chunk = 0;
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn check_flags_bad_corruption_knobs() {
+        let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
+        c.faults.lse_rate_active = -0.5;
+        assert!(matches!(c.check(), Err(ConfigError::Faults(_))));
+        let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
+        c.faults.shock_rate = 0.1;
+        c.faults.shock_enclosure = 0;
+        assert!(matches!(c.check(), Err(ConfigError::Faults(_))));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::config::SimConfig;
 use crate::faults::{surviving_partner, FaultMetrics, FaultPlan};
 use crate::recovery::RecoveryPlan;
 use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
-use rolo_disk::{DiskEnergyReport, PowerState, SchedulerKind};
+use rolo_disk::{DiskEnergyReport, IntegrityMap, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
 use rolo_obs::{BgSpanKind, LegFlavor, SpanCollector, SpanSet};
 use rolo_obs::{MetricId, MetricsRegistry, NullSink, SimEvent, TraceSink};
@@ -27,10 +27,50 @@ const REBUILD_CHUNK: u64 = 1 << 20;
 /// priority and dispatches only in idle slots.
 const REBUILD_WINDOW: usize = 4;
 
+/// Byte alignment of injected latent extents and scrub chunks.
+const LSE_ALIGN: u64 = 4096;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RebuildPhase {
     Read,
     Write,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScrubPhase {
+    /// A verification read of the next chunk of the data region.
+    Verify,
+    /// The rewrite of a chunk whose latent extents were repaired from
+    /// the surviving mirror copy.
+    Repair,
+}
+
+/// Per-disk progress of the background integrity scrub.
+#[derive(Debug, Clone, Default)]
+struct ScrubDiskState {
+    /// Next byte of the data region to verify.
+    cursor: u64,
+    /// Pass number (0-based; bumped when the cursor wraps).
+    pass: u64,
+    /// Bytes verified in the current pass.
+    pass_bytes: u64,
+    /// True once `ScrubStart` was emitted for the current pass.
+    started: bool,
+    /// True while a scrub chunk (verify or repair) is in flight.
+    inflight: bool,
+    /// Completion instant of the most recent full pass — the disk's
+    /// provable scrub age.
+    last_pass_at: Option<SimTime>,
+}
+
+/// One delayed per-disk effect of a correlated enclosure shock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShockEffect {
+    /// The disk fails outright (routed through the whole-disk failure
+    /// path, double-fault suppression included).
+    Fail(DiskId),
+    /// The disk accrues a latent corrupt extent at the given offset.
+    Corrupt(DiskId, u64),
 }
 
 /// Live state of one in-run rebuild onto a replacement disk.
@@ -133,6 +173,25 @@ pub struct SimCtx {
     /// Open compaction span ids, keyed by the pair being compacted
     /// (`None` for whole-log compactors).
     compaction_spans: HashMap<Option<usize>, u64>,
+    /// Per-disk latent corrupt extents (silent until a read, scrub chunk
+    /// or overwrite touches them).
+    corrupt: Vec<IntegrityMap>,
+    /// RNG stream for LSE thinning accepts and extent placement
+    /// (untouched unless the plan injects LSE, so a corruption-free run
+    /// draws exactly the same fault stream as before).
+    lse_rng: SimRng,
+    /// RNG stream for enclosure-shock expansion.
+    shock_rng: SimRng,
+    /// True when the background integrity scrub runs.
+    scrub_enabled: bool,
+    /// Bytes per scrub chunk read.
+    scrub_chunk: u64,
+    /// Per-disk scrub progress.
+    scrub_state: Vec<ScrubDiskState>,
+    /// In-flight scrub sub-requests: io id → (disk, phase, offset, bytes).
+    scrub_ios: HashMap<u64, (DiskId, ScrubPhase, u64, u64)>,
+    /// Open scrub span ids, keyed by the disk being scrubbed.
+    scrub_spans: HashMap<DiskId, u64>,
 }
 
 /// Pre-registered hot-path metric ids, so emit points index the registry
@@ -234,6 +293,14 @@ impl SimCtx {
             destage_spans: HashMap::new(),
             rebuild_spans: HashMap::new(),
             compaction_spans: HashMap::new(),
+            corrupt: vec![IntegrityMap::new(); disk_count],
+            lse_rng: SimRng::seed_from(cfg.faults.seed).fork("lse-draws"),
+            shock_rng: SimRng::seed_from(cfg.faults.seed).fork("shock-draws"),
+            scrub_enabled: cfg.scrub_enabled,
+            scrub_chunk: cfg.scrub_chunk,
+            scrub_state: vec![ScrubDiskState::default(); disk_count],
+            scrub_ios: HashMap::new(),
+            scrub_spans: HashMap::new(),
         }
     }
 
@@ -339,6 +406,21 @@ impl SimCtx {
 
     fn span_rebuild_end(&mut self, slot: DiskId) {
         if let Some(id) = self.rebuild_spans.remove(&slot) {
+            if let Some(s) = &mut self.spans {
+                s.end_bg(id, self.now);
+            }
+        }
+    }
+
+    fn span_scrub_begin(&mut self, disk: DiskId) {
+        if let Some(s) = &mut self.spans {
+            let id = s.begin_bg(BgSpanKind::Scrub, &[disk], self.now);
+            self.scrub_spans.insert(disk, id);
+        }
+    }
+
+    fn span_scrub_end(&mut self, disk: DiskId) {
+        if let Some(id) = self.scrub_spans.remove(&disk) {
             if let Some(s) = &mut self.spans {
                 s.end_bg(id, self.now);
             }
@@ -734,6 +816,27 @@ impl SimCtx {
         let epoch = u64::from(self.epochs[disk]);
         self.emit(|| SimEvent::DiskFailed { disk, epoch });
 
+        // The dead disk's latent extents leave with it: the rebuild
+        // rewrites the slot wholesale from the surviving copy, so they
+        // are classified overwritten (the data was never the only copy).
+        // The *partner's* latent extents, however, are now the sole copy
+        // of those bytes while its mirror is gone — the classic
+        // LSE-plus-disk-failure double fault. They are lost.
+        let wiped = self.corrupt[disk].reset();
+        self.faults.lse_overwritten += wiped as u64;
+        if let Some(p) = partner {
+            let doomed: Vec<(u64, u64)> = self.corrupt[p].iter().collect();
+            self.corrupt[p].reset();
+            for (offset, bytes) in doomed {
+                self.faults.lse_lost += 1;
+                self.emit(|| SimEvent::ExtentLost {
+                    disk: p,
+                    offset,
+                    bytes,
+                });
+            }
+        }
+
         // The dead disk drops out of every running rebuild's source set,
         // and its in-flight rebuild reads move to a surviving source.
         for st in self.rebuilds.values_mut() {
@@ -741,25 +844,54 @@ impl SimCtx {
         }
         let mut policy_owned = Vec::new();
         for req in aborted {
-            match self.rebuild_ios.get(&req.id).copied() {
-                Some(slot) => self.reissue_rebuild_read(slot, req.id),
-                None => policy_owned.push(req),
+            if let Some(slot) = self.rebuild_ios.get(&req.id).copied() {
+                self.reissue_rebuild_read(slot, req.id);
+            } else if let Some((d, _, _, _)) = self.scrub_ios.remove(&req.id) {
+                // A scrub chunk died with the disk; the pass resumes from
+                // the same cursor once the replacement is rebuilt.
+                self.scrub_state[d].inflight = false;
+                self.span_scrub_end(d);
+            } else {
+                policy_owned.push(req);
             }
         }
         Some(policy_owned)
     }
 
     /// Classifies a completed policy I/O against the fault plan: a
-    /// transient timeout, a latent sector error (reads only), or a clean
-    /// completion. Rebuild I/O is exempt — the driver routes it through
-    /// [`SimCtx::on_rebuild_io`] before classification.
-    pub fn classify_completion(&mut self, req: &DiskRequest) -> IoOutcome {
+    /// transient timeout, a failed end-to-end checksum (the read touched
+    /// a latent corrupt extent), a Bernoulli latent sector error (reads
+    /// only), or a clean completion. Rebuild and scrub I/O are exempt —
+    /// the driver routes them through [`SimCtx::on_rebuild_io`] /
+    /// [`SimCtx::on_scrub_io`] before classification.
+    pub fn classify_completion(&mut self, disk: DiskId, req: &DiskRequest) -> IoOutcome {
         let p_timeout = self.fault_plan.timeout_per_io;
         if p_timeout > 0.0 && self.fault_rng.chance(p_timeout) {
             self.faults.timeouts += 1;
             let io = req.id;
             self.emit(|| SimEvent::IoTimeout { io });
             return IoOutcome::Timeout;
+        }
+        // End-to-end verification: a read whose extent checksum fails is
+        // surfaced as a media error so the policy's existing redirect
+        // machinery re-reads the surviving mirror copy; the touched
+        // latent extents are classified (repaired-on-read or lost) right
+        // here so none can later be returned as clean data. A write that
+        // covers a latent extent simply replaces the bad bytes.
+        if !self.corrupt[disk].is_empty() && self.corrupt[disk].overlaps(req.offset, req.bytes) {
+            match req.kind {
+                IoKind::Read => {
+                    self.classify_latent_extents(disk, req.offset, req.bytes, false);
+                    self.retries.remove(&req.id);
+                    let io = req.id;
+                    self.emit(|| SimEvent::MediaError { io });
+                    return IoOutcome::MediaError;
+                }
+                IoKind::Write => {
+                    let n = self.corrupt[disk].clear_overlapping(req.offset, req.bytes);
+                    self.faults.lse_overwritten += n as u64;
+                }
+            }
         }
         let p_media = self.fault_plan.media_error_per_read;
         if req.kind == IoKind::Read && p_media > 0.0 && self.fault_rng.chance(p_media) {
@@ -771,6 +903,69 @@ impl SimCtx {
         }
         self.retries.remove(&req.id);
         IoOutcome::Ok
+    }
+
+    /// Takes every latent extent of `disk` touching `[start, start+len)`
+    /// and classifies its fate: repaired from a clean surviving mirror
+    /// copy, or lost (partner degraded, absent, or corrupt at the same
+    /// extent — in which case the partner's copy is classified lost too,
+    /// so no extent is ever counted twice or silently dropped). Returns
+    /// true if at least one extent was repaired.
+    fn classify_latent_extents(
+        &mut self,
+        disk: DiskId,
+        start: u64,
+        len: u64,
+        by_scrub: bool,
+    ) -> bool {
+        let extents = self.corrupt[disk].take_overlapping(start, len);
+        if extents.is_empty() {
+            return false;
+        }
+        let partner = surviving_partner(&self.geometry, disk).filter(|&p| !self.is_degraded(p));
+        let mut any_repaired = false;
+        for (offset, bytes) in extents {
+            match partner {
+                Some(p) if !self.corrupt[p].overlaps(offset, bytes) => {
+                    if by_scrub {
+                        self.faults.lse_repaired_by_scrub += 1;
+                        self.emit(|| SimEvent::ScrubRepair {
+                            disk,
+                            offset,
+                            bytes,
+                        });
+                    } else {
+                        self.faults.lse_repaired_on_read += 1;
+                    }
+                    any_repaired = true;
+                }
+                Some(p) => {
+                    for (po, pb) in self.corrupt[p].take_overlapping(offset, bytes) {
+                        self.faults.lse_lost += 1;
+                        self.emit(|| SimEvent::ExtentLost {
+                            disk: p,
+                            offset: po,
+                            bytes: pb,
+                        });
+                    }
+                    self.faults.lse_lost += 1;
+                    self.emit(|| SimEvent::ExtentLost {
+                        disk,
+                        offset,
+                        bytes,
+                    });
+                }
+                None => {
+                    self.faults.lse_lost += 1;
+                    self.emit(|| SimEvent::ExtentLost {
+                        disk,
+                        offset,
+                        bytes,
+                    });
+                }
+            }
+        }
+        any_repaired
     }
 
     /// Books a timeout for request `id`: returns the backoff before the
@@ -814,6 +1009,248 @@ impl SimCtx {
             // Keep the window open for any further accounting.
             self.degraded_since = Some(self.now);
         }
+        self.faults.lse_latent_at_end = self.corrupt.iter().map(|m| m.len() as u64).sum();
+    }
+
+    // ------------------------------------------------------------------
+    // Latent sector errors, shocks, and the scrub engine
+    // ------------------------------------------------------------------
+
+    /// A pre-sampled LSE candidate fired on `disk`. Candidates are drawn
+    /// at the *maximum* configured rate; Poisson thinning accepts each
+    /// with probability `rate(power state) / max rate`, so a spun-down
+    /// disk accrues latent errors at `lse_rate_standby` and a spinning
+    /// one at `lse_rate_active` without the schedule depending on the
+    /// (workload-driven) power trajectory.
+    pub fn on_lse_candidate(&mut self, disk: DiskId) {
+        let max = self.fault_plan.max_lse_rate();
+        if max <= 0.0 || disk >= self.corrupt.len() {
+            return;
+        }
+        let rate = if self.disks[disk].power_state().is_spun_up() {
+            self.fault_plan.lse_rate_active
+        } else {
+            self.fault_plan.lse_rate_standby
+        };
+        if !self.lse_rng.chance((rate / max).clamp(0.0, 1.0)) {
+            return;
+        }
+        let extent = self.fault_plan.lse_extent;
+        let region = self.geometry.data_region();
+        let Some(offset) = Self::draw_offset(&mut self.lse_rng, region, extent) else {
+            return;
+        };
+        self.apply_corruption(disk, offset);
+    }
+
+    /// Draws an aligned corruption offset inside `[0, region)`, or `None`
+    /// when the region cannot hold one extent.
+    fn draw_offset(rng: &mut SimRng, region: u64, extent: u64) -> Option<u64> {
+        if extent == 0 || region < extent {
+            return None;
+        }
+        let slots = (region - extent) / LSE_ALIGN + 1;
+        Some(rng.below(slots) * LSE_ALIGN)
+    }
+
+    /// Marks one extent of `disk` latent at `offset`. Skipped silently
+    /// when the slot is degraded (the replacement holds no data yet) or
+    /// the extent overlaps one already latent — only freshly recorded
+    /// extents enter the injected count, so conservation is exact.
+    pub fn apply_corruption(&mut self, disk: DiskId, offset: u64) {
+        if disk >= self.corrupt.len() || self.is_degraded(disk) {
+            return;
+        }
+        let bytes = self.fault_plan.lse_extent;
+        let region = self.geometry.data_region();
+        if bytes == 0 || region < bytes {
+            return;
+        }
+        let offset = offset.min(region - bytes);
+        if self.corrupt[disk].insert(offset, bytes) {
+            self.faults.lse_injected += 1;
+            self.emit(|| SimEvent::CorruptionInjected {
+                disk,
+                offset,
+                bytes,
+            });
+        }
+    }
+
+    /// Expands one enclosure shock into per-disk effects. A shock picks a
+    /// random enclosure (a contiguous group of `shock_enclosure` mirrored
+    /// slots), and each member, after a small independent jitter inside
+    /// the correlation window, either fails outright (probability
+    /// `shock_fail_prob`) or takes a latent corrupt extent. The caller
+    /// (the driver) schedules the returned effects — failing a disk can
+    /// cascade into recovery planning, which is the driver's domain.
+    pub fn expand_shock(&mut self) -> Vec<(Duration, ShockEffect)> {
+        let fail_prob = self.fault_plan.shock_fail_prob;
+        let window_us = self.fault_plan.correlation_window.as_micros().max(1);
+        let extent = self.fault_plan.lse_extent;
+        let region = self.geometry.data_region();
+        let mirrored = 2 * self.geometry.pairs();
+        if mirrored == 0 {
+            return Vec::new();
+        }
+        let enclosure = self.fault_plan.shock_enclosure.clamp(1, mirrored);
+        let enclosures = mirrored.div_ceil(enclosure);
+        let base = self.shock_rng.below(enclosures as u64) as usize * enclosure;
+        let members = base..(base + enclosure).min(mirrored);
+        let disks = members.len();
+        self.faults.shocks_injected += 1;
+        let enclosure_base = base;
+        self.emit(|| SimEvent::ShockInjected {
+            enclosure_base,
+            disks,
+        });
+        let mut effects = Vec::with_capacity(disks);
+        for d in members {
+            let jitter = Duration::from_micros(self.shock_rng.below(window_us));
+            if self.shock_rng.chance(fail_prob) {
+                effects.push((jitter, ShockEffect::Fail(d)));
+            } else if let Some(off) = Self::draw_offset(&mut self.shock_rng, region, extent) {
+                effects.push((jitter, ShockEffect::Corrupt(d, off)));
+            }
+        }
+        effects
+    }
+
+    /// One scrub scheduling slot: for every mirrored disk that is spun
+    /// up, not parked or parking, not degraded, and has no scrub chunk in
+    /// flight, issues the next sequential background verify read. The
+    /// engine is power-aware by construction — it piggybacks on disks the
+    /// workload already keeps spinning and never spins one up (or cancels
+    /// a pending park) just to scrub, so RoLo-E's standby legs stay in
+    /// standby.
+    pub fn on_scrub_tick(&mut self) {
+        if !self.scrub_enabled {
+            return;
+        }
+        let region = self.geometry.data_region();
+        if region == 0 {
+            return;
+        }
+        let mirrored = (2 * self.geometry.pairs()).min(self.disks.len());
+        for d in 0..mirrored {
+            if self.scrub_state[d].inflight || self.is_degraded(d) {
+                continue;
+            }
+            if !self.disks[d].power_state().is_spun_up() || self.disks[d].is_park_pending() {
+                continue;
+            }
+            let (offset, bytes, first, pass) = {
+                let st = &mut self.scrub_state[d];
+                let offset = st.cursor;
+                let bytes = self.scrub_chunk.min(region - offset);
+                if bytes == 0 {
+                    st.cursor = 0;
+                    continue;
+                }
+                st.inflight = true;
+                let first = !st.started;
+                st.started = true;
+                (offset, bytes, first, st.pass)
+            };
+            if first {
+                self.emit(|| SimEvent::ScrubStart { disk: d, pass });
+            }
+            let id = self.alloc_io_id();
+            self.scrub_ios
+                .insert(id, (d, ScrubPhase::Verify, offset, bytes));
+            self.span_scrub_begin(d);
+            self.submit_with_id(d, id, IoKind::Read, offset, bytes, Priority::Background);
+        }
+    }
+
+    /// True if request `id` belongs to the scrub engine. The driver
+    /// checks this before classifying a completion as policy I/O.
+    pub fn is_scrub_io(&self, id: u64) -> bool {
+        self.scrub_ios.contains_key(&id)
+    }
+
+    /// Completes one scrub transfer. A verify read checks the chunk
+    /// against the integrity map and, when a latent extent was repaired
+    /// from its mirror copy, issues a background repair write over the
+    /// same range before the next chunk; otherwise the cursor simply
+    /// advances. Completing the last chunk of the region closes the pass.
+    pub fn on_scrub_io(&mut self, req: &DiskRequest) {
+        let Some((disk, phase, offset, bytes)) = self.scrub_ios.remove(&req.id) else {
+            return;
+        };
+        match phase {
+            ScrubPhase::Repair => {
+                self.scrub_state[disk].inflight = false;
+                self.span_scrub_end(disk);
+            }
+            ScrubPhase::Verify => {
+                self.faults.scrub_chunks += 1;
+                self.faults.scrub_bytes += bytes;
+                let repaired = !self.corrupt[disk].is_empty()
+                    && self.classify_latent_extents(disk, offset, bytes, true);
+                let region = self.geometry.data_region();
+                let completed = {
+                    let st = &mut self.scrub_state[disk];
+                    st.pass_bytes += bytes;
+                    st.cursor += bytes;
+                    if st.cursor >= region {
+                        let done = (st.pass, st.pass_bytes);
+                        st.cursor = 0;
+                        st.pass += 1;
+                        st.pass_bytes = 0;
+                        st.started = false;
+                        st.last_pass_at = Some(self.now);
+                        Some(done)
+                    } else {
+                        None
+                    }
+                };
+                if let Some((pass, pass_bytes)) = completed {
+                    self.faults.scrub_passes += 1;
+                    self.emit(|| SimEvent::ScrubComplete {
+                        disk,
+                        pass,
+                        bytes: pass_bytes,
+                    });
+                }
+                if repaired {
+                    let id = self.alloc_io_id();
+                    self.scrub_ios
+                        .insert(id, (disk, ScrubPhase::Repair, offset, bytes));
+                    self.submit_with_id(
+                        disk,
+                        id,
+                        IoKind::Write,
+                        offset,
+                        bytes,
+                        Priority::Background,
+                    );
+                } else {
+                    self.scrub_state[disk].inflight = false;
+                    self.span_scrub_end(disk);
+                }
+            }
+        }
+    }
+
+    /// Number of completed scrub passes over `disk`.
+    pub fn scrub_pass(&self, disk: DiskId) -> u64 {
+        self.scrub_state.get(disk).map_or(0, |st| st.pass)
+    }
+
+    /// Time since `disk`'s last completed scrub pass, or `None` if no
+    /// pass has completed yet — the disk's *scrub age*, the window in
+    /// which a latent error could still be hiding.
+    pub fn scrub_age(&self, disk: DiskId) -> Option<Duration> {
+        self.scrub_state
+            .get(disk)
+            .and_then(|st| st.last_pass_at)
+            .map(|t| self.now.since(t))
+    }
+
+    /// Number of latent (still undetected) corrupt extents on `disk`.
+    pub fn latent_extents(&self, disk: DiskId) -> usize {
+        self.corrupt.get(disk).map_or(0, |m| m.len())
     }
 
     // ------------------------------------------------------------------
@@ -1089,5 +1526,133 @@ mod tests {
         // 4 idle disks × 10.2 W × 10 s.
         assert!((e - 4.0 * 10.2 * 10.0).abs() < 1e-6, "{e}");
         assert_eq!(c.energy_by_disk().len(), 4);
+    }
+
+    #[test]
+    fn read_over_latent_extent_repairs_from_partner() {
+        let mut c = ctx();
+        c.apply_corruption(0, 4096);
+        assert_eq!(c.faults.lse_injected, 1);
+        assert_eq!(c.latent_extents(0), 1);
+        let req = DiskRequest::new(77, IoKind::Read, 0, 64 * 1024, Priority::Foreground);
+        assert_eq!(c.classify_completion(0, &req), IoOutcome::MediaError);
+        assert_eq!(c.faults.lse_repaired_on_read, 1);
+        assert_eq!(c.latent_extents(0), 0);
+        c.finalize_faults();
+        assert!(c.faults.lse_conserved(), "{:?}", c.faults);
+    }
+
+    #[test]
+    fn latent_extents_on_both_copies_are_lost() {
+        let mut c = ctx();
+        c.apply_corruption(0, 0);
+        c.apply_corruption(2, 0); // pair 0's mirror
+        let req = DiskRequest::new(1, IoKind::Read, 0, 8192, Priority::Foreground);
+        assert_eq!(c.classify_completion(0, &req), IoOutcome::MediaError);
+        assert_eq!(c.faults.lse_lost, 2, "both copies of the extent are gone");
+        assert_eq!(c.latent_extents(0) + c.latent_extents(2), 0);
+        c.finalize_faults();
+        assert!(c.faults.lse_conserved(), "{:?}", c.faults);
+    }
+
+    #[test]
+    fn write_replaces_latent_extent() {
+        let mut c = ctx();
+        c.apply_corruption(0, 4096);
+        let req = DiskRequest::new(1, IoKind::Write, 0, 64 * 1024, Priority::Foreground);
+        assert_eq!(c.classify_completion(0, &req), IoOutcome::Ok);
+        assert_eq!(c.faults.lse_overwritten, 1);
+        assert_eq!(c.latent_extents(0), 0);
+        c.finalize_faults();
+        assert!(c.faults.lse_conserved(), "{:?}", c.faults);
+    }
+
+    #[test]
+    fn disk_failure_dooms_partner_latent_extents() {
+        let mut c = ctx();
+        c.apply_corruption(0, 0); // will become the sole copy
+        c.apply_corruption(2, 4096); // dies with the disk
+        c.fail_disk(2).expect("first failure injects");
+        assert_eq!(
+            c.faults.lse_overwritten, 1,
+            "dead disk's extent is rebuilt over"
+        );
+        assert_eq!(
+            c.faults.lse_lost, 1,
+            "surviving copy's latent extent lost its mirror"
+        );
+        c.finalize_faults();
+        assert!(c.faults.lse_conserved(), "{:?}", c.faults);
+    }
+
+    #[test]
+    fn corruption_skips_degraded_slots() {
+        let mut c = ctx();
+        c.fail_disk(0).expect("first failure injects");
+        c.apply_corruption(0, 0);
+        assert_eq!(c.faults.lse_injected, 0, "replacement holds no data yet");
+    }
+
+    #[test]
+    fn scrub_tick_skips_spun_down_disks() {
+        let mut cfg = SimConfig::paper_default(Scheme::Raid10, 2);
+        cfg.scrub_enabled = true;
+        let geo = cfg.geometry().unwrap();
+        let standby = vec![false, false, true, true];
+        let mut c = SimCtx::new(&cfg, geo, &standby);
+        c.on_scrub_tick();
+        let targets: Vec<DiskId> = c.take_wakes().into_iter().map(|(d, _)| d).collect();
+        assert!(!targets.is_empty(), "spun-up disks are scrubbed");
+        assert!(
+            targets.iter().all(|&d| d < 2),
+            "scrub must never touch a spun-down disk: {targets:?}"
+        );
+    }
+
+    #[test]
+    fn scrub_pass_repairs_latent_extents_and_records_age() {
+        let mut cfg = SimConfig::paper_default(Scheme::Raid10, 2);
+        cfg.scrub_enabled = true;
+        cfg.scrub_chunk = cfg.data_region(); // whole pass in one chunk
+        let geo = cfg.geometry().unwrap();
+        let standby = vec![false; cfg.disk_count()];
+        let mut c = SimCtx::new(&cfg, geo, &standby);
+        c.apply_corruption(0, 0);
+        c.on_scrub_tick();
+        // Drive every wake to completion, feeding scrub completions back.
+        for _ in 0..64 {
+            let mut wakes = c.take_wakes();
+            if wakes.is_empty() {
+                break;
+            }
+            wakes.sort_by_key(|(_, w)| w.due());
+            for (d, w) in wakes {
+                c.now = w.due();
+                match w {
+                    DiskWake::Io(_) => {
+                        let req = c.deliver_wake(d, WakeKind::Io).expect("io wake");
+                        if c.is_scrub_io(req.id) {
+                            c.on_scrub_io(&req);
+                        }
+                    }
+                    DiskWake::SpinUp(_) => {
+                        c.deliver_wake(d, WakeKind::SpinUp);
+                    }
+                    DiskWake::SpinDown(_) => {
+                        c.deliver_wake(d, WakeKind::SpinDown);
+                    }
+                    DiskWake::BgRetry(_) => {
+                        c.deliver_wake(d, WakeKind::BgRetry);
+                    }
+                }
+            }
+        }
+        assert_eq!(c.faults.lse_repaired_by_scrub, 1);
+        assert_eq!(c.latent_extents(0), 0);
+        assert_eq!(c.scrub_pass(0), 1, "disk 0 completed one pass");
+        assert!(c.scrub_age(0).is_some());
+        assert_eq!(c.faults.scrub_passes, 4, "every disk completed a pass");
+        c.finalize_faults();
+        assert!(c.faults.lse_conserved(), "{:?}", c.faults);
     }
 }

@@ -11,7 +11,7 @@
 //! consistency audit runs — the master invariant of the whole simulator.
 
 use crate::config::SimConfig;
-use crate::ctx::{SimCtx, WakeKind};
+use crate::ctx::{ShockEffect, SimCtx, WakeKind};
 use crate::policy::Policy;
 use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
@@ -36,6 +36,15 @@ enum Event {
     PowerSample,
     DiskFail(DiskId),
     IoRetry(DiskId, u32, DiskRequest),
+    /// A pre-sampled latent-sector-error candidate on a disk; the context
+    /// thins it by the disk's current power state.
+    LseCandidate(DiskId),
+    /// A correlated enclosure shock; expands into per-disk effects.
+    Shock,
+    /// A delayed shock effect: corrupt one extent of a disk.
+    CorruptAt(DiskId, u64),
+    /// Periodic scrub scheduling slot (only scheduled when enabled).
+    ScrubTick,
     TraceEnd,
 }
 
@@ -160,9 +169,22 @@ fn run_trace_inner<P: Policy>(
         });
         queue.schedule(at, Event::DiskFail(disk));
     }
+    // Latent-error candidates are pre-sampled per disk at the maximum
+    // configured rate; the context thins each by the disk's power state
+    // at fire time, so only the accept/reject draw depends on the
+    // workload-driven power trajectory.
+    for (disk, at) in cfg.faults.lse_candidates(2 * cfg.pairs, duration) {
+        queue.schedule(at, Event::LseCandidate(disk));
+    }
+    for at in cfg.faults.shock_instants(duration) {
+        queue.schedule(at, Event::Shock);
+    }
     // Sample aggregate power ~1000 times over the window (min 1 s apart).
     let sample_every = Duration::from_micros((duration.as_micros() / 1000).max(1_000_000));
     queue.schedule(SimTime::ZERO + sample_every, Event::PowerSample);
+    if cfg.scrub_enabled {
+        queue.schedule(SimTime::ZERO + cfg.scrub_interval, Event::ScrubTick);
+    }
     if let Some(first) = records.peek() {
         if first.arrival < trace_end {
             queue.schedule(first.arrival, Event::Arrival);
@@ -238,8 +260,12 @@ fn run_trace_inner<P: Policy>(
                         // Rebuild traffic is exempt from fault
                         // classification: the copy loop must terminate.
                         ctx.on_rebuild_io(&req);
+                    } else if ctx.is_scrub_io(req.id) {
+                        // Scrub traffic verifies the integrity map
+                        // directly; Bernoulli faults do not apply.
+                        ctx.on_scrub_io(&req);
                     } else {
-                        match ctx.classify_completion(&req) {
+                        match ctx.classify_completion(d, &req) {
                             IoOutcome::Ok => policy.on_io_complete(&mut ctx, d, req),
                             IoOutcome::MediaError => {
                                 policy.on_io_error(&mut ctx, d, req, IoOutcome::MediaError);
@@ -299,6 +325,32 @@ fn run_trace_inner<P: Policy>(
             }
             Event::Timer(token) => {
                 policy.on_timer(&mut ctx, token);
+            }
+            Event::LseCandidate(d) => {
+                ctx.on_lse_candidate(d);
+            }
+            Event::Shock => {
+                for (delay, effect) in ctx.expand_shock() {
+                    let at = ctx.now + delay;
+                    match effect {
+                        ShockEffect::Fail(d) => {
+                            queue.schedule(at, Event::DiskFail(d));
+                        }
+                        ShockEffect::Corrupt(d, off) => {
+                            queue.schedule(at, Event::CorruptAt(d, off));
+                        }
+                    }
+                }
+            }
+            Event::CorruptAt(d, off) => {
+                ctx.apply_corruption(d, off);
+            }
+            Event::ScrubTick => {
+                ctx.on_scrub_tick();
+                let now = ctx.now;
+                if now + cfg.scrub_interval < trace_end {
+                    queue.schedule(now + cfg.scrub_interval, Event::ScrubTick);
+                }
             }
             Event::PowerSample => {
                 let w = ctx.total_power_w();

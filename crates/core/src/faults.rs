@@ -40,6 +40,30 @@ pub struct FaultPlan {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles on each further attempt.
     pub retry_backoff: Duration,
+    /// Per-disk Poisson rate (events per second) of latent sector
+    /// errors landing while the disk is spun up (Active/Idle). Zero
+    /// disables active-time corruption.
+    pub lse_rate_active: f64,
+    /// Per-disk Poisson rate of latent sector errors while the disk is
+    /// spun down (Standby or spinning down). Spun-down disks typically
+    /// accrue *more* latent errors per unit time than active ones —
+    /// nobody reads them, so nothing surfaces the decay — which is the
+    /// RoLo-E danger window the scrub engine exists to close.
+    pub lse_rate_standby: f64,
+    /// Size in bytes of each injected latent extent.
+    pub lse_extent: u64,
+    /// Array-wide Poisson rate (events per second) of correlated
+    /// enclosure shocks. Each shock picks one enclosure and fails or
+    /// corrupts several of its disks within `correlation_window`.
+    pub shock_rate: f64,
+    /// Probability that a shocked disk fails outright (vs. accruing a
+    /// latent corrupt extent).
+    pub shock_fail_prob: f64,
+    /// Number of physically adjacent disks sharing one enclosure (the
+    /// blast radius of a shock).
+    pub shock_enclosure: usize,
+    /// Window over which one shock's per-disk effects are spread.
+    pub correlation_window: Duration,
     /// Seed for the fault RNG stream (forked from this value, not from
     /// the workload seed, so fault draws are reproducible in isolation).
     pub seed: u64,
@@ -55,6 +79,13 @@ impl FaultPlan {
             timeout_per_io: 0.0,
             max_retries: 3,
             retry_backoff: Duration::from_millis(10),
+            lse_rate_active: 0.0,
+            lse_rate_standby: 0.0,
+            lse_extent: 64 * 1024,
+            shock_rate: 0.0,
+            shock_fail_prob: 0.5,
+            shock_enclosure: 4,
+            correlation_window: Duration::from_secs(5),
             seed: 0xFA_17,
         }
     }
@@ -75,6 +106,22 @@ impl FaultPlan {
             && self.random_failure_rate <= 0.0
             && self.media_error_per_read <= 0.0
             && self.timeout_per_io <= 0.0
+            && !self.injects_lse()
+            && self.shock_rate <= 0.0
+    }
+
+    /// True if the plan injects latent sector corruption.
+    pub fn injects_lse(&self) -> bool {
+        self.max_lse_rate() > 0.0
+    }
+
+    /// The larger of the two power-state LSE rates — the rate the
+    /// candidate stream is pre-sampled at (Poisson thinning accepts a
+    /// candidate with probability `rate(state) / max_rate` at fire
+    /// time, so the accepted process has the state-dependent rate while
+    /// the schedule itself stays deterministic).
+    pub fn max_lse_rate(&self) -> f64 {
+        self.lse_rate_active.max(self.lse_rate_standby)
     }
 
     /// Validates the plan against the physical disk count (which, unlike
@@ -88,6 +135,7 @@ impl FaultPlan {
         for (name, p) in [
             ("media_error_per_read", self.media_error_per_read),
             ("timeout_per_io", self.timeout_per_io),
+            ("shock_fail_prob", self.shock_fail_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(FaultPlanError::BadProbability { name, value: p });
@@ -95,6 +143,21 @@ impl FaultPlan {
         }
         if self.random_failure_rate < 0.0 || !self.random_failure_rate.is_finite() {
             return Err(FaultPlanError::BadRate(self.random_failure_rate));
+        }
+        for (name, r) in [
+            ("lse_rate_active", self.lse_rate_active),
+            ("lse_rate_standby", self.lse_rate_standby),
+            ("shock_rate", self.shock_rate),
+        ] {
+            if r < 0.0 || !r.is_finite() {
+                return Err(FaultPlanError::BadKnob { name, value: r });
+            }
+        }
+        if self.injects_lse() && self.lse_extent == 0 {
+            return Err(FaultPlanError::BadExtent(self.lse_extent));
+        }
+        if self.shock_rate > 0.0 && self.shock_enclosure == 0 {
+            return Err(FaultPlanError::BadEnclosure(self.shock_enclosure));
         }
         Ok(())
     }
@@ -127,6 +190,37 @@ impl FaultPlan {
         });
         raw
     }
+
+    /// Pre-samples the latent-sector-error *candidate* stream over
+    /// `[0, horizon)`: per disk, Poisson arrivals at [`Self::max_lse_rate`],
+    /// merged and sorted by `(time, disk)`. Each candidate is accepted
+    /// or rejected at fire time against the disk's power state
+    /// (thinning), so the schedule is independent of simulation
+    /// dynamics and fully reproducible from the fault seed.
+    pub fn lse_candidates(&self, disk_count: usize, horizon: Duration) -> Vec<(DiskId, SimTime)> {
+        let rate = self.max_lse_rate();
+        if rate <= 0.0 || disk_count == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(DiskId, SimTime)> = Vec::new();
+        for d in 0..disk_count {
+            let mut rng = SimRng::seed_from(self.seed).fork(&format!("lse-{d}"));
+            for t in schedule::exponential_arrivals(&mut rng, rate, horizon) {
+                out.push((d, t));
+            }
+        }
+        out.sort_by_key(|&(d, t)| (t, d));
+        out
+    }
+
+    /// Pre-samples the enclosure-shock instants over `[0, horizon)`.
+    pub fn shock_instants(&self, horizon: Duration) -> Vec<SimTime> {
+        if self.shock_rate <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = SimRng::seed_from(self.seed).fork("shock-schedule");
+        schedule::exponential_arrivals(&mut rng, self.shock_rate, horizon)
+    }
 }
 
 /// A [`FaultPlan`] that failed validation.
@@ -148,6 +242,17 @@ pub enum FaultPlanError {
     },
     /// `random_failure_rate` is negative or non-finite.
     BadRate(f64),
+    /// A named corruption/shock rate knob is negative or non-finite.
+    BadKnob {
+        /// Field name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// `lse_extent` is zero while LSE injection is enabled.
+    BadExtent(u64),
+    /// `shock_enclosure` is zero while shocks are enabled.
+    BadEnclosure(usize),
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -167,6 +272,15 @@ impl std::fmt::Display for FaultPlanError {
                     f,
                     "fault plan random_failure_rate = {r} is not a valid rate"
                 )
+            }
+            FaultPlanError::BadKnob { name, value } => {
+                write!(f, "fault plan {name} = {value} is not a valid rate")
+            }
+            FaultPlanError::BadExtent(e) => {
+                write!(f, "fault plan lse_extent = {e} must be positive")
+            }
+            FaultPlanError::BadEnclosure(e) => {
+                write!(f, "fault plan shock_enclosure = {e} must be positive")
             }
         }
     }
@@ -205,14 +319,57 @@ pub struct FaultMetrics {
     pub rebuild_bytes: u64,
     /// Duration of each completed rebuild, in injection order.
     pub rebuild_durations: Vec<Duration>,
+    /// Latent corrupt extents injected (LSE accrual plus shock
+    /// corruption; overlapping injections onto an already-latent extent
+    /// are skipped and not counted).
+    pub lse_injected: u64,
+    /// Latent extents detected by a foreground read's verify and
+    /// repaired from the surviving mirror copy.
+    pub lse_repaired_on_read: u64,
+    /// Latent extents detected and repaired by the background scrub.
+    pub lse_repaired_by_scrub: u64,
+    /// Latent extents destroyed by being overwritten before any read
+    /// observed them (a full-extent write replaces the bad data).
+    pub lse_overwritten: u64,
+    /// Latent extents that became unrecoverable: the mirror partner was
+    /// dead or also corrupt when the extent was needed.
+    pub lse_lost: u64,
+    /// Latent extents still undetected when the run ended.
+    pub lse_latent_at_end: u64,
+    /// Complete scrub passes over a disk's data region.
+    pub scrub_passes: u64,
+    /// Scrub chunk reads issued.
+    pub scrub_chunks: u64,
+    /// Bytes verified by the scrub engine.
+    pub scrub_bytes: u64,
+    /// Correlated enclosure shocks injected.
+    pub shocks_injected: u64,
 }
 
 impl FaultMetrics {
+    /// Sum of the classified fates of injected latent extents. The
+    /// zero-silent-corruption invariant is
+    /// `lse_injected == lse_classified()`: every injected extent ends
+    /// the run repaired (by scrub, by a read, or by an overwrite),
+    /// counted lost, or still latent — never silently forgotten.
+    pub fn lse_classified(&self) -> u64 {
+        self.lse_repaired_on_read
+            + self.lse_repaired_by_scrub
+            + self.lse_overwritten
+            + self.lse_lost
+            + self.lse_latent_at_end
+    }
+
+    /// True if every injected latent extent is accounted for.
+    pub fn lse_conserved(&self) -> bool {
+        self.lse_injected == self.lse_classified()
+    }
+
     /// Publishes the fault counters into `registry` under `faults.*`
     /// names, so they appear in the report's metrics export alongside
     /// the driver's own counters. Called by the driver at end of run.
     pub fn publish(&self, registry: &mut rolo_obs::MetricsRegistry) {
-        let pairs: [(&str, u64); 9] = [
+        let pairs: [(&str, u64); 19] = [
             ("faults.disk_failures", self.disk_failures),
             (
                 "faults.double_faults_suppressed",
@@ -225,6 +382,16 @@ impl FaultMetrics {
             ("faults.reads_redirected", self.reads_redirected),
             ("faults.rebuilds_completed", self.rebuilds_completed),
             ("faults.rebuild_bytes", self.rebuild_bytes),
+            ("faults.lse_injected", self.lse_injected),
+            ("faults.lse_repaired_on_read", self.lse_repaired_on_read),
+            ("faults.lse_repaired_by_scrub", self.lse_repaired_by_scrub),
+            ("faults.lse_overwritten", self.lse_overwritten),
+            ("faults.lse_lost", self.lse_lost),
+            ("faults.lse_latent_at_end", self.lse_latent_at_end),
+            ("faults.scrub_passes", self.scrub_passes),
+            ("faults.scrub_chunks", self.scrub_chunks),
+            ("faults.scrub_bytes", self.scrub_bytes),
+            ("faults.shocks_injected", self.shocks_injected),
         ];
         for (name, value) in pairs {
             let id = registry.counter(name);
@@ -318,6 +485,111 @@ mod tests {
         let sched = plan.schedule(8, Duration::from_secs(600));
         assert_eq!(sched.len(), 1);
         assert_eq!(sched[0].1, SimTime::ZERO + Duration::from_secs(100));
+    }
+
+    #[test]
+    fn check_rejects_bad_corruption_knobs() {
+        let mut plan = FaultPlan::none();
+        plan.lse_rate_active = -1.0;
+        assert!(matches!(
+            plan.check(8),
+            Err(FaultPlanError::BadKnob {
+                name: "lse_rate_active",
+                ..
+            })
+        ));
+        let mut plan = FaultPlan::none();
+        plan.lse_rate_standby = f64::NAN;
+        assert!(matches!(plan.check(8), Err(FaultPlanError::BadKnob { .. })));
+        let mut plan = FaultPlan::none();
+        plan.shock_rate = f64::INFINITY;
+        assert!(matches!(
+            plan.check(8),
+            Err(FaultPlanError::BadKnob {
+                name: "shock_rate",
+                ..
+            })
+        ));
+        let mut plan = FaultPlan::none();
+        plan.shock_fail_prob = 1.5;
+        assert!(matches!(
+            plan.check(8),
+            Err(FaultPlanError::BadProbability {
+                name: "shock_fail_prob",
+                ..
+            })
+        ));
+        let mut plan = FaultPlan::none();
+        plan.lse_rate_standby = 0.1;
+        plan.lse_extent = 0;
+        assert!(matches!(plan.check(8), Err(FaultPlanError::BadExtent(0))));
+        let mut plan = FaultPlan::none();
+        plan.shock_rate = 0.1;
+        plan.shock_enclosure = 0;
+        assert!(matches!(
+            plan.check(8),
+            Err(FaultPlanError::BadEnclosure(0))
+        ));
+        // A zero extent without LSE injection is fine: the knob is
+        // inert, so it must not invalidate an otherwise-sound plan.
+        let mut plan = FaultPlan::none();
+        plan.lse_extent = 0;
+        assert!(plan.check(8).is_ok());
+    }
+
+    #[test]
+    fn lse_knobs_count_as_faults() {
+        let mut plan = FaultPlan::none();
+        plan.lse_rate_standby = 0.5;
+        assert!(!plan.is_none());
+        assert!(plan.injects_lse());
+        let mut plan = FaultPlan::none();
+        plan.shock_rate = 0.5;
+        assert!(!plan.is_none());
+        assert!(!plan.injects_lse());
+    }
+
+    #[test]
+    fn lse_candidates_sorted_and_reproducible() {
+        let mut plan = FaultPlan::none();
+        plan.lse_rate_active = 0.01;
+        plan.lse_rate_standby = 0.05;
+        plan.seed = 7;
+        let horizon = Duration::from_secs(3600);
+        let a = plan.lse_candidates(4, horizon);
+        let b = plan.lse_candidates(4, horizon);
+        assert_eq!(a, b, "candidate schedule must be seed-deterministic");
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+        assert!(a.iter().all(|&(d, _)| d < 4));
+        assert!(plan.lse_candidates(0, horizon).is_empty());
+        assert!(FaultPlan::none().lse_candidates(4, horizon).is_empty());
+    }
+
+    #[test]
+    fn shock_instants_reproducible() {
+        let mut plan = FaultPlan::none();
+        plan.shock_rate = 0.01;
+        plan.seed = 11;
+        let horizon = Duration::from_secs(3600);
+        let a = plan.shock_instants(horizon);
+        assert_eq!(a, plan.shock_instants(horizon));
+        assert!(!a.is_empty());
+        assert!(FaultPlan::none().shock_instants(horizon).is_empty());
+    }
+
+    #[test]
+    fn lse_conservation_helper() {
+        let mut m = FaultMetrics::default();
+        assert!(m.lse_conserved());
+        m.lse_injected = 5;
+        m.lse_repaired_on_read = 1;
+        m.lse_repaired_by_scrub = 2;
+        m.lse_lost = 1;
+        assert!(!m.lse_conserved());
+        m.lse_latent_at_end = 1;
+        assert!(m.lse_conserved());
+        assert_eq!(m.lse_classified(), 5);
     }
 
     #[test]

@@ -705,12 +705,38 @@ impl SegmentStore {
         out
     }
 
+    /// Flips the stored checksum of the committed record `rid`, modeling
+    /// silent on-media corruption: the record still scans, but end-to-end
+    /// verification fails and replay must fall back to a mirrored copy.
+    /// Returns `false` if no committed copy of `rid` exists in a
+    /// non-archived segment (nothing to corrupt).
+    pub fn corrupt_record(&mut self, rid: u64) -> bool {
+        for seg in &mut self.segments {
+            if seg.state == SegmentState::Archived {
+                continue;
+            }
+            for rec in &mut seg.records {
+                if rec.rid == rid && rec.lsn.is_some() && !rec.abandoned {
+                    rec.checksum ^= 0xdead_beef_dead_beef;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Scans the chain the way a recovery pass does: committed records
     /// are verified and folded into `merged` (keyed by LSN; copies on
-    /// other chains deduplicate), torn records are counted.
+    /// other chains deduplicate). A record that fails verification is
+    /// *torn* if it never committed (no LSN — the crash interrupted it)
+    /// and *corrupt* if it committed but its checksum no longer matches
+    /// (silent media corruption); corrupt records are collected so the
+    /// caller can classify each as repaired or lost once every chain has
+    /// been scanned.
     fn scan_into(
         &self,
         merged: &mut BTreeMap<u64, (usize, u64, u64)>,
+        corrupt: &mut Vec<(u64, usize)>,
         outcome: &mut ReplayOutcome,
     ) {
         for seg in &self.segments {
@@ -721,7 +747,13 @@ impl SegmentStore {
             for rec in &seg.records {
                 outcome.records_scanned += 1;
                 if !rec.verify() {
-                    outcome.torn_records += 1;
+                    match rec.lsn {
+                        Some(lsn) if !rec.abandoned => {
+                            outcome.corrupt_records += 1;
+                            corrupt.push((lsn, rec.pair));
+                        }
+                        _ => outcome.torn_records += 1,
+                    }
                     continue;
                 }
                 let lsn = rec.lsn.expect("verified record has an LSN");
@@ -925,6 +957,15 @@ pub struct ReplayOutcome {
     pub records_scanned: u64,
     /// Records that failed checksum verification (torn by the crash).
     pub torn_records: u64,
+    /// Committed records whose checksum no longer matched (silent media
+    /// corruption, as opposed to a torn crash-interrupted record).
+    pub corrupt_records: u64,
+    /// Corrupt records whose LSN survived verified on another chain —
+    /// the mirrored copy repairs them.
+    pub corrupt_repaired: u64,
+    /// Corrupt records with no verified copy of their LSN anywhere —
+    /// the logged write is unrecoverable.
+    pub corrupt_lost: u64,
     /// Deduplicated committed appends redone into the maps.
     pub applied_appends: u64,
     /// Manifest clears undone from the maps.
@@ -950,8 +991,19 @@ where
         ..Default::default()
     };
     let mut appends: BTreeMap<u64, (usize, u64, u64)> = BTreeMap::new();
+    let mut corrupt: Vec<(u64, usize)> = Vec::new();
     for store in journals {
-        store.scan_into(&mut appends, &mut outcome);
+        store.scan_into(&mut appends, &mut corrupt, &mut outcome);
+    }
+    // Classify every corrupt record exactly once: repaired if any chain
+    // holds a verified copy of its LSN, lost otherwise — so
+    // `corrupt_records == corrupt_repaired + corrupt_lost` always.
+    for (lsn, _pair) in corrupt {
+        if appends.contains_key(&lsn) {
+            outcome.corrupt_repaired += 1;
+        } else {
+            outcome.corrupt_lost += 1;
+        }
     }
     // Merge appends and clears in global LSN order (LSNs are unique
     // across both, so a simple two-cursor merge is exact).
@@ -1089,6 +1141,46 @@ mod tests {
         assert_eq!(out.applied_appends, 1);
         assert_eq!(out.maps[0].bytes(), 100);
         let _ = b;
+    }
+
+    #[test]
+    fn corrupt_record_detected_and_repaired_from_mirror() {
+        let mut h = Harness::new(1 << 16);
+        let w1 = h.write(0, 4096);
+        h.ack(w1, 0, 4096);
+        assert!(h.store.corrupt_record(w1.0));
+        let out = replay_journals([&h.store, &h.mirror], &h.manifest, 1);
+        assert_eq!(out.corrupt_records, 1);
+        assert_eq!(out.corrupt_repaired, 1);
+        assert_eq!(out.corrupt_lost, 0);
+        assert_eq!(out.torn_records, 0, "corruption is not torn");
+        assert!(maps_equal(&out.maps[0], &h.reference));
+    }
+
+    #[test]
+    fn corrupt_record_without_clean_copy_is_lost() {
+        let mut h = Harness::new(1 << 16);
+        let w1 = h.write(0, 4096);
+        h.ack(w1, 0, 4096);
+        assert!(h.store.corrupt_record(w1.0));
+        assert!(h.mirror.corrupt_record(w1.1));
+        let out = replay_journals([&h.store, &h.mirror], &h.manifest, 1);
+        assert_eq!(out.corrupt_records, 2);
+        assert_eq!(out.corrupt_repaired, 0);
+        assert_eq!(out.corrupt_lost, 2);
+        assert_eq!(out.maps[0].bytes(), 0, "the logged write is gone");
+    }
+
+    #[test]
+    fn corrupt_record_requires_commit() {
+        let mut s = SegmentStore::new(1 << 20);
+        let a = s.append(0, 1, 0, 100);
+        assert!(
+            !s.corrupt_record(a.rid),
+            "an uncommitted record is torn, not silently corrupt"
+        );
+        s.commit(a.rid, 1);
+        assert!(s.corrupt_record(a.rid));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod disk;
+pub mod integrity;
 pub mod params;
 pub mod power;
 pub mod service;
@@ -43,6 +44,7 @@ pub use disk::{
     CompletionOutcome, Disk, DiskIoStats, DiskRequest, DiskWake, IdleGapHistogram, IoKind,
     IoOutcome, Priority, SchedulerKind, ServiceBreakdown,
 };
+pub use integrity::IntegrityMap;
 pub use params::DiskParams;
 pub use power::{DiskEnergyReport, EnergyMeter, PowerState};
 pub use service::{ServiceModel, ServiceParts};

@@ -237,6 +237,61 @@ pub enum SimEvent {
         /// state (must be 0 for a crash-consistent log).
         divergent_pairs: u64,
     },
+    /// The fault injector marked an extent of a disk as silently
+    /// corrupt (a latent sector error landed).
+    CorruptionInjected {
+        /// Disk holding the now-latent extent.
+        disk: DiskId,
+        /// Physical byte offset of the extent.
+        offset: u64,
+        /// Extent length in bytes.
+        bytes: u64,
+    },
+    /// A correlated-failure shock hit a shared enclosure, failing or
+    /// corrupting several of its disks within a short window.
+    ShockInjected {
+        /// First disk of the affected enclosure.
+        enclosure_base: DiskId,
+        /// Disks in the enclosure.
+        disks: usize,
+    },
+    /// The scrub engine began a sequential verification pass over a
+    /// disk's data region.
+    ScrubStart {
+        /// Disk being scrubbed.
+        disk: DiskId,
+        /// Pass number (0-based, monotone per disk).
+        pass: u64,
+    },
+    /// The scrub engine detected a latent extent and repaired it from
+    /// the surviving mirror copy.
+    ScrubRepair {
+        /// Disk the latent extent was found on.
+        disk: DiskId,
+        /// Physical byte offset of the repaired extent.
+        offset: u64,
+        /// Extent length in bytes.
+        bytes: u64,
+    },
+    /// A scrub pass covered the whole data region of a disk.
+    ScrubComplete {
+        /// Disk that finished the pass.
+        disk: DiskId,
+        /// Pass number that completed.
+        pass: u64,
+        /// Bytes verified in the pass.
+        bytes: u64,
+    },
+    /// A latent extent became unrecoverable: its mirror partner is dead
+    /// or also corrupt, so the data is lost (counted, never silent).
+    ExtentLost {
+        /// Disk the unrecoverable extent is on.
+        disk: DiskId,
+        /// Physical byte offset of the lost extent.
+        offset: u64,
+        /// Extent length in bytes.
+        bytes: u64,
+    },
     /// The trace ran out; the driver began draining in-flight work.
     TraceEnded,
 }
@@ -275,6 +330,12 @@ impl SimEvent {
             SimEvent::ReplayStarted { .. } => "ReplayStarted",
             SimEvent::TornRecordDetected { .. } => "TornRecordDetected",
             SimEvent::ReplayCompleted { .. } => "ReplayCompleted",
+            SimEvent::CorruptionInjected { .. } => "CorruptionInjected",
+            SimEvent::ShockInjected { .. } => "ShockInjected",
+            SimEvent::ScrubStart { .. } => "ScrubStart",
+            SimEvent::ScrubRepair { .. } => "ScrubRepair",
+            SimEvent::ScrubComplete { .. } => "ScrubComplete",
+            SimEvent::ExtentLost { .. } => "ExtentLost",
             SimEvent::TraceEnded => "TraceEnded",
         }
     }
@@ -301,7 +362,12 @@ impl SimEvent {
             | SimEvent::ArchiveFrameRetired { disk, .. }
             | SimEvent::ReplayStarted { disk }
             | SimEvent::TornRecordDetected { disk, .. }
-            | SimEvent::ReplayCompleted { disk, .. } => Some(*disk),
+            | SimEvent::ReplayCompleted { disk, .. }
+            | SimEvent::CorruptionInjected { disk, .. }
+            | SimEvent::ScrubStart { disk, .. }
+            | SimEvent::ScrubRepair { disk, .. }
+            | SimEvent::ScrubComplete { disk, .. }
+            | SimEvent::ExtentLost { disk, .. } => Some(*disk),
             _ => None,
         }
     }

@@ -26,7 +26,7 @@ use serde::Serialize;
 use std::collections::HashMap;
 
 /// Number of typed phases ([`Phase::ALL`] has one entry per phase).
-pub const NUM_PHASES: usize = 10;
+pub const NUM_PHASES: usize = 11;
 
 /// Where a slice of a request's latency went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -55,6 +55,9 @@ pub enum Phase {
     /// Waiting behind a background compaction transfer (live log
     /// records being relocated out of a mostly-dead segment).
     Compaction,
+    /// Waiting behind a background scrub transfer (an extent being
+    /// verified by the integrity scrub engine).
+    ScrubInterference,
 }
 
 impl Phase {
@@ -70,6 +73,7 @@ impl Phase {
         Phase::DestageInterference,
         Phase::DegradedRedirect,
         Phase::Compaction,
+        Phase::ScrubInterference,
     ];
 
     /// Stable dense index of this phase into `[_; NUM_PHASES]` arrays.
@@ -85,6 +89,7 @@ impl Phase {
             Phase::DestageInterference => 7,
             Phase::DegradedRedirect => 8,
             Phase::Compaction => 9,
+            Phase::ScrubInterference => 10,
         }
     }
 
@@ -101,6 +106,7 @@ impl Phase {
             Phase::DestageInterference => "DestageInterference",
             Phase::DegradedRedirect => "DegradedRedirect",
             Phase::Compaction => "Compaction",
+            Phase::ScrubInterference => "ScrubInterference",
         }
     }
 }
@@ -237,6 +243,9 @@ pub enum BgSpanKind {
     /// A compaction pass (live records relocated out of mostly-dead
     /// log segments, folded into destage idle-slots).
     Compaction,
+    /// An integrity-scrub chunk (a latent-sector-error sweep reading
+    /// extents sequentially during idle slots).
+    Scrub,
 }
 
 /// A background activity span: a destage cycle or a rebuild, with links
@@ -331,10 +340,11 @@ impl SpanCollector {
             }
         };
         // Interference is typed by its cause: waiting behind a
-        // compaction transfer lands in `Compaction`, everything else
-        // (destage, rebuild) in `DestageInterference` — so the two
-        // background activities stay separable in the attribution
-        // table while their sum remains conserved.
+        // compaction transfer lands in `Compaction`, behind a scrub
+        // chunk in `ScrubInterference`, everything else (destage,
+        // rebuild) in `DestageInterference` — so the background
+        // activities stay separable in the attribution table while
+        // their sum remains conserved.
         let bg_id = if b.bg_interference.is_zero() {
             None
         } else {
@@ -342,6 +352,7 @@ impl SpanCollector {
         };
         let interference_phase = match bg_id.and_then(|i| self.bg_open.get(&i)) {
             Some(bg) if bg.kind == BgSpanKind::Compaction => Phase::Compaction,
+            Some(bg) if bg.kind == BgSpanKind::Scrub => Phase::ScrubInterference,
             _ => Phase::DestageInterference,
         };
         // Temporal order: the spindle comes up first, then the media

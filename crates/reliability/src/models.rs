@@ -124,6 +124,67 @@ pub fn rolo_e_4(lambda: f64, mu: f64) -> Result<MarkovChain, CtmcError> {
     Ok(c)
 }
 
+/// Appends a latent-sector-error state to `base`, making the chain
+/// scrub-aware (DESIGN.md §11):
+///
+/// * `healthy → latent` at `exposed_disks · lse` — a silent corrupt
+///   extent develops on one of the disks exposed to LSEs;
+/// * `latent → healthy` at `scrub` — a scrub pass verifies the extent
+///   and repairs it from its mirror copy before anything else happens
+///   (omitted when `scrub` is zero: the scrub-off model);
+/// * `latent → loss` at `lambda` — the disk holding the extent's only
+///   clean copy fails first: the classic LSE-plus-disk-failure double
+///   fault, an extent-level data loss.
+///
+/// The convention mirrors the simulator's accounting: a latent extent is
+/// harmless until its partner disk dies, and a scrub pass races that
+/// failure. With `lse = 0` the base chain is returned unchanged.
+///
+/// # Errors
+///
+/// Propagates [`CtmcError::BadRate`] for non-finite or negative rates.
+pub fn with_latent_errors(
+    base: MarkovChain,
+    exposed_disks: f64,
+    lambda: f64,
+    lse: f64,
+    scrub: f64,
+) -> Result<MarkovChain, CtmcError> {
+    if lse <= 0.0 {
+        return Ok(base);
+    }
+    let latent = base.states();
+    let mut c = MarkovChain::new(latent + 1);
+    for &(from, to, rate) in base.transitions() {
+        c.add(from, to, rate)?;
+    }
+    c.add(0, latent, exposed_disks * lse)?;
+    c.add(latent, LOSS, lambda)?;
+    if scrub > 0.0 {
+        c.add(latent, 0, scrub)?;
+    }
+    Ok(c)
+}
+
+/// [`rolo_p_4`] extended with a latent-error state: all four disks spin
+/// (or log) regularly, so all four are exposed to LSEs.
+pub fn rolo_p_4_lse(lambda: f64, mu: f64, lse: f64, scrub: f64) -> Result<MarkovChain, CtmcError> {
+    with_latent_errors(rolo_p_4(lambda, mu)?, 4.0, lambda, lse, scrub)
+}
+
+/// [`rolo_r_4`] extended with a latent-error state (four exposed disks).
+pub fn rolo_r_4_lse(lambda: f64, mu: f64, lse: f64, scrub: f64) -> Result<MarkovChain, CtmcError> {
+    with_latent_errors(rolo_r_4(lambda, mu)?, 4.0, lambda, lse, scrub)
+}
+
+/// [`rolo_e_4`] extended with a latent-error state. Fig. 8 models only
+/// the active logger pair, so two disks are exposed — and because the
+/// scrub engine is power-aware (it never wakes the spun-down pair), the
+/// scrub rate passed here is exactly the rate the active pair enjoys.
+pub fn rolo_e_4_lse(lambda: f64, mu: f64, lse: f64, scrub: f64) -> Result<MarkovChain, CtmcError> {
+    with_latent_errors(rolo_e_4(lambda, mu)?, 2.0, lambda, lse, scrub)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +249,88 @@ mod tests {
         let rp = rolo_p_4(L, mu).unwrap().absorption_time(0).unwrap();
         let g = graid_5(L, mu).unwrap().absorption_time(0).unwrap();
         assert!(rr > r10 && r10 > rp && rp > g, "{rr} {r10} {rp} {g}");
+    }
+
+    #[test]
+    fn latent_errors_shorten_mttdl_and_scrub_recovers_it() {
+        let mu = closed_form::mttr_days_to_mu(3.0);
+        let lse = 1e-4; // per disk-hour, deliberately aggressive
+        let scrub = 1.0 / 12.0; // a full pass every 12 hours
+        type Flavor = fn(f64, f64, f64, f64) -> Result<MarkovChain, CtmcError>;
+        type Base = fn(f64, f64) -> Result<MarkovChain, CtmcError>;
+        let flavors: [(Flavor, Base, &str); 3] = [
+            (rolo_p_4_lse, rolo_p_4, "rolo-p"),
+            (rolo_r_4_lse, rolo_r_4, "rolo-r"),
+            (rolo_e_4_lse, rolo_e_4, "rolo-e"),
+        ];
+        for (with_lse, base, name) in flavors {
+            let clean = base(L, mu).unwrap().absorption_time(0).unwrap();
+            let off = with_lse(L, mu, lse, 0.0)
+                .unwrap()
+                .absorption_time(0)
+                .unwrap();
+            let on = with_lse(L, mu, lse, scrub)
+                .unwrap()
+                .absorption_time(0)
+                .unwrap();
+            assert!(off < clean, "{name}: latent errors must cost MTTDL");
+            assert!(
+                on >= off,
+                "{name}: scrubbing must never hurt ({on:.3e} < {off:.3e})"
+            );
+            assert!(
+                on > 2.0 * off,
+                "{name}: a 12h scrub pass should dominate the LSE danger window"
+            );
+            assert!(on < clean, "{name}: scrubbing cannot beat a clean array");
+        }
+    }
+
+    #[test]
+    fn scrub_ordering_cross_validated_by_monte_carlo() {
+        use crate::monte_carlo::absorption_time_mc;
+        // Rates scaled up so trajectories absorb quickly; the *ordering*
+        // (scrub-on ≥ scrub-off) is what the simulator's scrub_study
+        // relies on, so it must hold under both solvers.
+        let (l, m, lse, scrub) = (1e-3, 0.05, 1e-2, 0.5);
+        type Flavor = fn(f64, f64, f64, f64) -> Result<MarkovChain, CtmcError>;
+        let flavors: [(Flavor, &str); 3] = [
+            (rolo_p_4_lse, "rolo-p"),
+            (rolo_r_4_lse, "rolo-r"),
+            (rolo_e_4_lse, "rolo-e"),
+        ];
+        for (with_lse, name) in flavors {
+            let off = with_lse(l, m, lse, 0.0).unwrap();
+            let on = with_lse(l, m, lse, scrub).unwrap();
+            let exact_off = off.absorption_time(0).unwrap();
+            let exact_on = on.absorption_time(0).unwrap();
+            assert!(exact_on > exact_off, "{name}: exact ordering");
+            let mc_off = absorption_time_mc(&off, 0, 4_000, 11).unwrap();
+            let mc_on = absorption_time_mc(&on, 0, 4_000, 13).unwrap();
+            assert!(
+                mc_on.mean > mc_off.mean,
+                "{name}: MC ordering ({} vs {})",
+                mc_on.mean,
+                mc_off.mean
+            );
+            // And each estimate brackets its exact value.
+            let (lo, hi) = mc_off.confidence_95();
+            assert!(
+                lo * 0.9 < exact_off && exact_off < hi * 1.1,
+                "{name}: MC off {lo:.3e}..{hi:.3e} vs exact {exact_off:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_lse_rate_leaves_base_chain_untouched() {
+        let mu = closed_form::mttr_days_to_mu(3.0);
+        let base = rolo_p_4(L, mu).unwrap().absorption_time(0).unwrap();
+        let gated = rolo_p_4_lse(L, mu, 0.0, 1.0)
+            .unwrap()
+            .absorption_time(0)
+            .unwrap();
+        assert_eq!(base, gated);
     }
 
     #[test]

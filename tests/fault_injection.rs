@@ -185,3 +185,114 @@ fn monte_carlo_mttdl_matches_ctmc_and_preserves_scheme_ordering() {
     );
     assert!(cases[1].1 > cases[0].1, "closed forms must agree on order");
 }
+
+/// A fault plan that exercises the whole silent-corruption surface:
+/// power-state-dependent latent-error accrual plus correlated
+/// enclosure shocks (DESIGN.md §11).
+fn corruption_plan(cfg: &mut SimConfig, seed: u64) {
+    cfg.faults.lse_rate_active = 0.02;
+    cfg.faults.lse_rate_standby = 0.08;
+    cfg.faults.lse_extent = 64 << 10;
+    cfg.faults.shock_rate = 1.0 / 120.0;
+    cfg.faults.shock_fail_prob = 0.2;
+    cfg.faults.shock_enclosure = 2;
+    cfg.faults.correlation_window = Duration::from_secs(2);
+    cfg.faults.seed = seed;
+}
+
+#[test]
+fn every_injected_latent_extent_is_classified_for_every_scheme() {
+    // The zero-silent-corruption invariant under the full multi-fault
+    // matrix: injected == repaired-by-scrub + repaired-on-read +
+    // overwritten + lost + still-latent, for every scheme, with the
+    // scrub both on and off.
+    let dur = Duration::from_secs(240);
+    let mut injected_total = 0;
+    for scheme in Scheme::all() {
+        for (scrub, seed) in [(false, 3u64), (true, 3), (true, 17)] {
+            let mut cfg = fault_cfg(scheme);
+            cfg.scrub_enabled = scrub;
+            corruption_plan(&mut cfg, seed);
+            let report = rolo::core::run_scheme(&cfg, read_heavy(40.0).generator(dur, seed), dur);
+            report
+                .consistency
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{scheme} scrub={scrub}: {e}"));
+            let f = &report.faults;
+            assert!(
+                f.lse_conserved(),
+                "{scheme} scrub={scrub} seed={seed}: injected {} but classified {}",
+                f.lse_injected,
+                f.lse_classified()
+            );
+            injected_total += f.lse_injected;
+        }
+    }
+    assert!(injected_total > 0, "the corruption plan injected nothing");
+}
+
+#[test]
+fn scrubbing_shrinks_the_latent_population_without_waking_disks() {
+    // RoLo-E is the flavor whose spun-down disks accrue standby-rate
+    // latent errors; the power-aware scrub must repair extents on the
+    // disks that are up without spinning up the ones that are down.
+    let dur = Duration::from_secs(240);
+    let run = |scrub: bool| {
+        let mut cfg = fault_cfg(Scheme::RoloE);
+        cfg.scrub_enabled = scrub;
+        // 8 MB/s of scrub bandwidth so a 224 MB data region is fully
+        // scanned well inside the window despite power-down gaps.
+        cfg.scrub_chunk = 4 << 20;
+        corruption_plan(&mut cfg, 5);
+        rolo::core::run_scheme(&cfg, write_heavy(40.0).generator(dur, 5), dur)
+    };
+    let off = run(false);
+    let on = run(true);
+    off.consistency.as_ref().expect("consistent");
+    on.consistency.as_ref().expect("consistent");
+    assert!(
+        on.faults.lse_repaired_by_scrub > 0,
+        "scrub-on run repaired nothing by scrub"
+    );
+    assert!(
+        on.faults.scrub_passes > 0,
+        "scrub never completed a pass over a data region"
+    );
+    assert!(
+        on.faults.lse_latent_at_end < off.faults.lse_latent_at_end,
+        "scrub did not shrink the end-of-run latent population ({} vs {})",
+        on.faults.lse_latent_at_end,
+        off.faults.lse_latent_at_end
+    );
+    // The scrub piggybacks on disks that are already up: it must not
+    // add spin cycles beyond the workload's own.
+    assert!(
+        on.spin_cycles <= off.spin_cycles,
+        "scrubbing added spin cycles ({} vs {}) — it woke disks",
+        on.spin_cycles,
+        off.spin_cycles
+    );
+}
+
+#[test]
+fn corruption_and_scrub_runs_are_reproducible_byte_for_byte() {
+    // Determinism under the full new machinery: identical configs give
+    // byte-identical deterministic reports, with the scrub off and on.
+    let dur = Duration::from_secs(240);
+    let run = |scrub: bool| {
+        let mut cfg = fault_cfg(Scheme::RoloR);
+        cfg.scrub_enabled = scrub;
+        corruption_plan(&mut cfg, 13);
+        rolo::core::run_scheme(&cfg, write_heavy(40.0).generator(dur, 13), dur)
+    };
+    for scrub in [false, true] {
+        let a = run(scrub);
+        let b = run(scrub);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "scrub={scrub}: identical runs diverged"
+        );
+        a.consistency.as_ref().expect("consistent");
+    }
+}

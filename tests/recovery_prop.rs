@@ -8,6 +8,7 @@
 
 use proptest::prelude::*;
 use rolo::core::{recovery_plan, Scheme, SimConfig};
+use rolo::obs::{RingSink, SimEvent};
 use rolo::raid::ArrayGeometry;
 use rolo::sim::Duration;
 use rolo::trace::SyntheticConfig;
@@ -169,5 +170,145 @@ proptest! {
             metric("policy.replay_divergence"), 0.0,
             "{}: replayed dirty maps diverged from the controller's", scheme
         );
+    }
+}
+
+/// The crash-matrix config shared by the lifecycle-targeted crashes.
+fn crash_cfg(scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(scheme, 4);
+    cfg.disk.capacity_bytes = 256 << 20;
+    cfg.logger_region = 32 << 20;
+    cfg.graid_log_capacity = 64 << 20;
+    cfg
+}
+
+/// Probes an uncrashed run of `scheme` and returns the
+/// `(micros, disk)` instants of every segment compaction and archival
+/// inside the crashable window. The fault injector's pinned failure
+/// perturbs nothing before it fires, so these instants land at exactly
+/// the same journal state in the crashed run.
+type Instants = Vec<(u64, usize)>;
+
+fn lifecycle_instants(scheme: Scheme, trace_seed: u64) -> (Instants, Instants) {
+    let cfg = crash_cfg(scheme);
+    let dur = Duration::from_secs(400);
+    let wl = SyntheticConfig::motivation_write_only(40.0);
+    let (report, mut sink) = rolo::core::run_scheme_with_sink(
+        &cfg,
+        wl.generator(dur, trace_seed),
+        dur,
+        Box::new(RingSink::new(1 << 21)),
+    );
+    report.consistency.as_ref().expect("probe run consistent");
+    let mut compacted = Vec::new();
+    let mut archived = Vec::new();
+    for ev in sink.drain() {
+        let at = ev.at.as_micros();
+        if !(30_000_000..=350_000_000).contains(&at) {
+            continue;
+        }
+        match ev.event {
+            SimEvent::SegmentCompacted { disk, .. } => compacted.push((at, disk)),
+            SimEvent::SegmentArchived { disk, .. } => archived.push((at, disk)),
+            _ => {}
+        }
+    }
+    (compacted, archived)
+}
+
+/// Runs the crash at `(micros ± jitter, disk)` and requires a clean
+/// replay: the fault fired, a replay pass ran, and the reconstructed
+/// dirty maps match the controller's byte-for-byte.
+fn crash_at(
+    scheme: Scheme,
+    at_micros: u64,
+    disk: usize,
+    jitter_us: u64,
+    trace_seed: u64,
+) -> Result<(), TestCaseError> {
+    // Jitter straddles the instant: half the draws land just before
+    // (mid-operation), half just after (freshly mutated journal state).
+    let crash = at_micros
+        .saturating_add(jitter_us)
+        .saturating_sub(100_000)
+        .max(30_000_000);
+    let mut cfg = crash_cfg(scheme);
+    cfg.faults.disk_failures = vec![(disk, Duration::from_micros(crash))];
+    let dur = Duration::from_secs(400);
+    let wl = SyntheticConfig::motivation_write_only(40.0);
+    let report = rolo::core::run_scheme(&cfg, wl.generator(dur, trace_seed), dur);
+    report
+        .consistency
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    let metric = |name: &str| report.metrics.get(name).map(|m| m.value).unwrap_or(0.0);
+    prop_assert_eq!(
+        report.faults.disk_failures,
+        1,
+        "{}: fault never fired",
+        scheme
+    );
+    prop_assert!(
+        metric("policy.log_replays") >= 1.0,
+        "{scheme}: killing journal disk {disk} at {crash}us ran no replay"
+    );
+    prop_assert_eq!(
+        metric("policy.replay_divergence"),
+        0.0,
+        "{}: replayed dirty maps diverged after a mid-lifecycle crash",
+        scheme
+    );
+    Ok(())
+}
+
+proptest! {
+    // Each case probes one uncrashed run, then replays it with the
+    // crash pinned to a lifecycle instant: two full simulations.
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        max_shrink_iters: 0,
+    })]
+
+    /// Mid-compaction crash: kill the journal disk at (or ±100 ms
+    /// around) a segment-compaction instant, when relocated records
+    /// have just re-committed and their sources are superseded — the
+    /// replay must still reconstruct the dirty maps exactly. RoLo-E
+    /// never compacts under this workload, so the sweep covers the two
+    /// flavors that do.
+    #[test]
+    fn crash_mid_compaction_replays_exactly(
+        scheme_idx in 0usize..2,
+        pick in 0usize..1000,
+        jitter_us in 0u64..200_000,
+        trace_seed in 0u64..4,
+    ) {
+        let scheme = [Scheme::RoloP, Scheme::RoloR][scheme_idx];
+        let (compacted, _) = lifecycle_instants(scheme, trace_seed);
+        prop_assert!(
+            !compacted.is_empty(),
+            "{scheme}: probe run never compacted — the crash point is untestable"
+        );
+        let (at, disk) = compacted[pick % compacted.len()];
+        crash_at(scheme, at, disk, jitter_us, trace_seed)?;
+    }
+
+    /// Mid-archival crash: kill the journal disk at (or ±100 ms around)
+    /// a segment-archival instant, when a sealed segment has just moved
+    /// to an archive frame pending TTL retirement.
+    #[test]
+    fn crash_mid_archival_replays_exactly(
+        scheme_idx in 0usize..3,
+        pick in 0usize..1000,
+        jitter_us in 0u64..200_000,
+        trace_seed in 0u64..4,
+    ) {
+        let scheme = [Scheme::RoloP, Scheme::RoloR, Scheme::RoloE][scheme_idx];
+        let (_, archived) = lifecycle_instants(scheme, trace_seed);
+        prop_assert!(
+            !archived.is_empty(),
+            "{scheme}: probe run never archived — the crash point is untestable"
+        );
+        let (at, disk) = archived[pick % archived.len()];
+        crash_at(scheme, at, disk, jitter_us, trace_seed)?;
     }
 }
