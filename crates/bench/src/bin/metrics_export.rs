@@ -1,0 +1,447 @@
+//! Exports one observed run as machine-readable telemetry artifacts
+//! (DESIGN.md §12): an OpenMetrics text exposition, a JSONL window
+//! timeline, and a full export JSON that `trace_diff` consumes.
+//!
+//! ```text
+//! metrics_export [scheme] [trace] [hours] [--seed S] [--pairs N]
+//!                [--tag NAME] [--out-dir DIR]
+//! ```
+//!
+//! * `scheme` — raid10 | graid | rolo-p | rolo-r | rolo-e (default rolo-p)
+//! * `trace`  — a Table III profile name (default src2_2)
+//! * `hours`  — simulated window (default 1)
+//! * `--tag`  — artifact basename (default `<scheme>_<trace>`)
+//! * `--out-dir` — output directory (default `results/metrics_export`)
+//!
+//! Artifacts, all deterministic for a fixed (scheme, trace, hours,
+//! seed, pairs):
+//!
+//! * `<tag>.om` — OpenMetrics text. Counters export their cumulative
+//!   total over retained windows, gauges their final level, quantile
+//!   series an OpenMetrics summary whose quantile values come from the
+//!   freshest non-idle window (summaries are windowed by convention)
+//!   and whose `_count`/`_sum` cover all retained windows. Every
+//!   sample carries `scheme`/`trace` labels.
+//! * `<tag>.timeline.jsonl` — one line per (series, closed window):
+//!   the raw `WindowRollup` with its series label, for offline rollup
+//!   tooling.
+//! * `<tag>.json` — the trace_diff input: run metadata, report
+//!   headline numbers, the full telemetry snapshot, per-window FNV-1a
+//!   checksums of the emitted event stream (the divergence-point
+//!   probe), the critical-path phase attribution, and the SLO alert
+//!   list.
+
+use rolo_core::{run_scheme_observed, Scheme, SimConfig, SimReport};
+use rolo_obs::{
+    AttributionSummary, RingSink, RollupValue, SeriesKind, SloAlert, SpanAnalysis,
+    TelemetrySnapshot, TracedEvent,
+};
+use rolo_sim::Duration;
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Matches trace_dump: big enough that multi-hour runs never wrap.
+const RING_CAPACITY: usize = 2_000_000;
+
+struct Args {
+    scheme: Scheme,
+    scheme_arg: String,
+    trace: String,
+    hours: f64,
+    seed: u64,
+    pairs: usize,
+    tag: Option<String>,
+    out_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: Scheme::RoloP,
+        scheme_arg: "rolo-p".to_owned(),
+        trace: "src2_2".to_owned(),
+        hours: 1.0,
+        seed: 1,
+        pairs: 4,
+        tag: None,
+        out_dir: None,
+    };
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = val("--seed").parse().expect("seed"),
+            "--pairs" => args.pairs = val("--pairs").parse().expect("pairs"),
+            "--tag" => args.tag = Some(val("--tag")),
+            "--out-dir" => args.out_dir = Some(val("--out-dir")),
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of metrics_export.rs");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => {
+                match positional {
+                    0 => {
+                        args.scheme = match other {
+                            "raid10" => Scheme::Raid10,
+                            "graid" => Scheme::Graid,
+                            "rolo-p" => Scheme::RoloP,
+                            "rolo-r" => Scheme::RoloR,
+                            "rolo-e" => Scheme::RoloE,
+                            _ => {
+                                eprintln!("unknown scheme {other}");
+                                std::process::exit(2);
+                            }
+                        };
+                        args.scheme_arg = other.to_owned();
+                    }
+                    1 => args.trace = other.to_owned(),
+                    2 => args.hours = other.parse().expect("hours"),
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+/// FNV-1a 64-bit, the divergence-probe hash: stable, dependency-free,
+/// and cheap enough to fold every event line.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One telemetry window's event-stream fingerprint.
+#[derive(Debug, Clone, Serialize)]
+struct WindowChecksum {
+    /// Window index (same clock as the telemetry snapshot).
+    window: u64,
+    /// Events emitted in the window.
+    events: u64,
+    /// FNV-1a over the window's serialized event lines, in order.
+    fnv: u64,
+}
+
+/// Headline report numbers worth diffing between runs.
+#[derive(Debug, Clone, Serialize)]
+struct ReportSummary {
+    scheme: String,
+    user_requests: u64,
+    mean_response_ms: f64,
+    p95_response_ms: f64,
+    p99_response_ms: f64,
+    total_energy_j: f64,
+    spin_cycles: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ExportMeta {
+    scheme: String,
+    trace: String,
+    hours: f64,
+    seed: u64,
+    pairs: usize,
+    window_us: u64,
+    events_recorded: u64,
+    events_dropped: u64,
+}
+
+/// The trace_diff input document.
+#[derive(Debug, Serialize)]
+struct Export {
+    meta: ExportMeta,
+    report: ReportSummary,
+    telemetry: TelemetrySnapshot,
+    event_checksums: Vec<WindowChecksum>,
+    phases: AttributionSummary,
+    slo_alerts: Vec<SloAlert>,
+}
+
+/// One `<tag>.timeline.jsonl` line.
+#[derive(Debug, Serialize)]
+struct TimelineLine {
+    series: String,
+    kind: SeriesKind,
+    window: u64,
+    start_us: u64,
+    value: RollupValue,
+}
+
+fn window_checksums(events: &[TracedEvent], window_us: u64) -> Vec<WindowChecksum> {
+    let mut out: Vec<WindowChecksum> = Vec::new();
+    for ev in events {
+        let window = ev.at.as_micros() / window_us;
+        let line = Serialize::to_value(ev).to_string();
+        match out.last_mut() {
+            Some(last) if last.window == window => {
+                last.events += 1;
+                last.fnv = fnv1a(last.fnv, line.as_bytes());
+            }
+            _ => out.push(WindowChecksum {
+                window,
+                events: 1,
+                fnv: fnv1a(FNV_OFFSET, line.as_bytes()),
+            }),
+        }
+    }
+    out
+}
+
+/// `sim.response_us` → `rolo_sim_response_us` (OpenMetrics name
+/// charset).
+fn om_name(series: &str) -> String {
+    let mut n = String::from("rolo_");
+    for c in series.chars() {
+        n.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    n
+}
+
+fn om_labels(meta: &ExportMeta, extra: Option<(&str, &str)>) -> String {
+    let mut l = format!("scheme=\"{}\",trace=\"{}\"", meta.scheme, meta.trace);
+    if let Some((k, v)) = extra {
+        l.push_str(&format!(",{k}=\"{v}\""));
+    }
+    l
+}
+
+/// Renders the OpenMetrics exposition: every telemetry series plus the
+/// report headline numbers, `# EOF`-terminated per the spec.
+fn render_openmetrics(
+    meta: &ExportMeta,
+    report: &ReportSummary,
+    snap: &TelemetrySnapshot,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let labels = om_labels(meta, None);
+    for s in &snap.series {
+        let name = om_name(&s.name);
+        match s.kind {
+            SeriesKind::Counter => {
+                let total: f64 = s
+                    .windows
+                    .iter()
+                    .map(|w| match &w.value {
+                        RollupValue::Counter { delta } => *delta,
+                        _ => 0.0,
+                    })
+                    .sum();
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name}_total{{{labels}}} {total}");
+            }
+            SeriesKind::Gauge => {
+                let last = s
+                    .windows
+                    .iter()
+                    .rev()
+                    .find_map(|w| match &w.value {
+                        RollupValue::Gauge { last, .. } => Some(*last),
+                        _ => None,
+                    })
+                    .unwrap_or(0.0);
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name}{{{labels}}} {last}");
+            }
+            SeriesKind::Quantile => {
+                // Quantile values come from the freshest non-idle
+                // window; count/sum aggregate every retained window.
+                let mut count = 0u64;
+                let mut sum = 0.0;
+                let mut fresh = None;
+                for w in &s.windows {
+                    if let RollupValue::Quantile(d) = &w.value {
+                        count += d.count;
+                        sum += d.sum;
+                        if d.count > 0 {
+                            fresh = Some(d);
+                        }
+                    }
+                }
+                let _ = writeln!(out, "# TYPE {name} summary");
+                if let Some(d) = fresh {
+                    for (q, v) in [
+                        ("0.5", d.p50),
+                        ("0.9", d.p90),
+                        ("0.95", d.p95),
+                        ("0.99", d.p99),
+                    ] {
+                        if let Some(v) = v {
+                            let ql = om_labels(meta, Some(("quantile", q)));
+                            let _ = writeln!(out, "{name}{{{ql}}} {v}");
+                        }
+                    }
+                }
+                let _ = writeln!(out, "{name}_count{{{labels}}} {count}");
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {sum}");
+            }
+        }
+    }
+    let _ = writeln!(out, "# TYPE rolo_report_mean_response_ms gauge");
+    let _ = writeln!(
+        out,
+        "rolo_report_mean_response_ms{{{labels}}} {}",
+        report.mean_response_ms
+    );
+    let _ = writeln!(out, "# TYPE rolo_report_user_requests counter");
+    let _ = writeln!(
+        out,
+        "rolo_report_user_requests_total{{{labels}}} {}",
+        report.user_requests
+    );
+    let _ = writeln!(out, "# TYPE rolo_report_energy_joules counter");
+    let _ = writeln!(
+        out,
+        "rolo_report_energy_joules_total{{{labels}}} {}",
+        report.total_energy_j
+    );
+    out.push_str("# EOF\n");
+    out
+}
+
+fn summarize(report: &SimReport) -> ReportSummary {
+    let pct_ms = |p: f64| {
+        report
+            .responses
+            .percentile(p)
+            .map_or(0.0, |d| d.as_micros() as f64 / 1e3)
+    };
+    ReportSummary {
+        scheme: report.scheme.clone(),
+        user_requests: report.user_requests,
+        mean_response_ms: report.mean_response_ms(),
+        p95_response_ms: pct_ms(95.0),
+        p99_response_ms: pct_ms(99.0),
+        total_energy_j: report.total_energy_j,
+        spin_cycles: report.spin_cycles,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = SimConfig::paper_default(args.scheme, args.pairs);
+    cfg.seed = args.seed;
+    if !cfg.telemetry_enabled {
+        eprintln!("telemetry must be enabled for metrics_export");
+        std::process::exit(2);
+    }
+    let profile = rolo_trace::profiles::by_name(&args.trace).unwrap_or_else(|| {
+        eprintln!("unknown trace profile {}", args.trace);
+        std::process::exit(2);
+    });
+    let dur = Duration::from_secs((args.hours * 3600.0) as u64);
+    let records = profile.generator(dur, cfg.seed).collect::<Vec<_>>();
+
+    let (report, mut obs) = run_scheme_observed(
+        &cfg,
+        records,
+        dur,
+        Box::new(RingSink::new(RING_CAPACITY)),
+        true,
+    );
+    let recorded = obs.sink.recorded();
+    let dropped = obs.sink.dropped();
+    if dropped > 0 {
+        eprintln!("warning: ring overflowed, {dropped} oldest events lost — checksums cover the retained tail only");
+    }
+    let events = obs.sink.drain();
+    let snap = obs.telemetry.take().expect("telemetry enabled");
+    let spans = obs.spans.take().expect("spans requested");
+    let phases = SpanAnalysis::analyze(&spans.requests).all.summary();
+
+    let meta = ExportMeta {
+        scheme: report.scheme.clone(),
+        trace: args.trace.clone(),
+        hours: args.hours,
+        seed: args.seed,
+        pairs: args.pairs,
+        window_us: snap.window_us,
+        events_recorded: recorded,
+        events_dropped: dropped,
+    };
+    let summary = summarize(&report);
+    let checksums = window_checksums(&events, snap.window_us);
+
+    let dir: PathBuf = args
+        .out_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| rolo_bench::results_dir().join("metrics_export"));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let tag = args
+        .tag
+        .clone()
+        .unwrap_or_else(|| format!("{}_{}", args.scheme_arg, args.trace));
+
+    // OpenMetrics exposition.
+    let om_path = dir.join(format!("{tag}.om"));
+    let om = render_openmetrics(&meta, &summary, &snap);
+    std::fs::write(&om_path, &om).expect("write OpenMetrics file");
+
+    // Window timeline, one rollup per line.
+    let tl_path = dir.join(format!("{tag}.timeline.jsonl"));
+    let mut tl = std::fs::File::create(&tl_path).expect("create timeline");
+    let mut timeline_lines = 0u64;
+    for s in &snap.series {
+        for w in &s.windows {
+            let line = TimelineLine {
+                series: s.name.clone(),
+                kind: s.kind,
+                window: w.window,
+                start_us: w.start.as_micros(),
+                value: w.value.clone(),
+            };
+            writeln!(tl, "{}", Serialize::to_value(&line)).expect("write timeline line");
+            timeline_lines += 1;
+        }
+    }
+    drop(tl);
+
+    // The trace_diff input document.
+    let export = Export {
+        meta,
+        report: summary,
+        telemetry: snap,
+        event_checksums: checksums,
+        phases,
+        slo_alerts: obs.slo_alerts,
+    };
+    let json_path = dir.join(format!("{tag}.json"));
+    std::fs::write(&json_path, Serialize::to_value(&export).to_string())
+        .expect("write export JSON");
+
+    println!(
+        "{}: {} series / {} timeline rollups / {} windows checksummed / {} SLO alerts",
+        export.meta.scheme,
+        export.telemetry.series.len(),
+        timeline_lines,
+        export.event_checksums.len(),
+        export.slo_alerts.len()
+    );
+    println!("  {}", om_path.display());
+    println!("  {}", tl_path.display());
+    println!("  {}", json_path.display());
+}

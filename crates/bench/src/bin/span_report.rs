@@ -9,11 +9,13 @@
 //!
 //! Exits non-zero if any scheme attributes less than 95 % of its summed
 //! response time to typed phases — the coverage bar the span taxonomy
-//! promises. Results land in `results/span_report.json`.
+//! promises. Results land in `results/span_report.json`. Rows are
+//! sorted by scheme name so the table and JSON are byte-stable for CI
+//! diffs regardless of worker scheduling.
 
 use rolo_bench::{expect_consistent, parallel_map};
 use rolo_core::{ParaidPolicy, Scheme, SimConfig, SimReport};
-use rolo_obs::{AttributionSummary, Phase, SpanAnalysis, SpanSet};
+use rolo_obs::{AttributionSummary, SpanAnalysis, SpanSet};
 use rolo_sim::Duration;
 use serde::Serialize;
 
@@ -83,16 +85,6 @@ fn main() {
         }
     });
 
-    println!("critical-path attribution: {trace} for {hours} h (share of summed response)");
-    print!(
-        "{:<10} {:>8} {:>9} {:>7}",
-        "scheme", "requests", "mean", "attrib"
-    );
-    for c in COLS {
-        print!(" {c:>7}");
-    }
-    println!(" {:>7}", "unattr");
-
     let mut out = Vec::new();
     let mut failures = Vec::new();
     for (report, spans) in &runs {
@@ -105,18 +97,6 @@ fn main() {
             "{}: every completed request must have a span",
             report.scheme
         );
-        let pct = |x: f64| format!("{:.1}%", x * 100.0);
-        print!(
-            "{:<10} {:>8} {:>7.2}ms {:>7}",
-            report.scheme,
-            stats.requests,
-            report.mean_response_ms(),
-            pct(stats.attributed_fraction()),
-        );
-        for p in Phase::ALL {
-            print!(" {:>7}", pct(stats.share(p)));
-        }
-        println!(" {:>7}", pct(1.0 - stats.attributed_fraction()));
         if stats.attributed_fraction() < MIN_ATTRIBUTED {
             failures.push(format!(
                 "{}: only {:.2}% attributed",
@@ -140,6 +120,36 @@ fn main() {
             reads: analysis.reads.summary(),
             writes: analysis.writes.summary(),
         });
+    }
+    // Sort rows by scheme name so the table (and the results JSON) is
+    // byte-stable for CI diffs regardless of run scheduling.
+    out.sort_by(|a, b| a.scheme.cmp(&b.scheme));
+    failures.sort();
+
+    println!("critical-path attribution: {trace} for {hours} h (share of summed response)");
+    print!(
+        "{:<10} {:>8} {:>9} {:>9} {:>7}",
+        "scheme", "requests", "mean", "p99", "attrib"
+    );
+    for c in COLS {
+        print!(" {c:>7}");
+    }
+    println!(" {:>7}", "unattr");
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    for row in &out {
+        let s = &row.all;
+        print!(
+            "{:<10} {:>8} {:>7.2}ms {:>7.2}ms {:>7}",
+            row.scheme,
+            s.requests,
+            s.mean_response_ms,
+            s.p99_ms.unwrap_or(0.0),
+            pct(s.attributed_fraction),
+        );
+        for share in &s.phases {
+            print!(" {:>7}", pct(share.share));
+        }
+        println!(" {:>7}", pct(1.0 - s.attributed_fraction));
     }
 
     for row in &out {

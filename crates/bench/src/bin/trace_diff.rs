@@ -1,0 +1,428 @@
+//! Regression triage between two `metrics_export` JSON documents
+//! (DESIGN.md §12): where did two runs of the same workload part ways,
+//! and by how much?
+//!
+//! ```text
+//! trace_diff <a.json> <b.json> [--check]
+//!            [--max-mean-delta-pct P]      (default 5.0)
+//!            [--max-requests-delta-pct P]  (default 1.0)
+//!            [--max-phase-shift-pts P]     (default 5.0)
+//! ```
+//!
+//! Prints, in order:
+//!
+//! 1. headline report deltas (requests, mean/p95/p99 response, energy,
+//!    spin cycles);
+//! 2. the event-stream divergence point — the first telemetry window
+//!    whose per-window FNV event checksum differs (seed-identical runs
+//!    of the same build diverge nowhere; a behavioral change shows up
+//!    as the window where its first event landed);
+//! 3. per-window metric deltas — for every series both runs exported,
+//!    how many shared windows differ and the largest relative delta
+//!    (counters compare window deltas, gauges window means, quantile
+//!    series window p95);
+//! 4. critical-path phase-attribution shifts in percentage points;
+//! 5. SLO alert counts per (objective, signal) on each side.
+//!
+//! `--check` turns thresholds into a CI gate: exit 1 when either file
+//! is malformed, the runs' scheme/trace/window length disagree, the
+//! mean-response or request-count delta exceeds its bound, or any
+//! phase share shifts by more than the bound. A self-compare must
+//! report zero divergence and pass with all deltas exactly 0.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+struct Args {
+    a: String,
+    b: String,
+    check: bool,
+    max_mean_delta_pct: f64,
+    max_requests_delta_pct: f64,
+    max_phase_shift_pts: f64,
+}
+
+fn parse_args() -> Args {
+    let mut files = Vec::new();
+    let mut check = false;
+    let mut max_mean_delta_pct = 5.0;
+    let mut max_requests_delta_pct = 1.0;
+    let mut max_phase_shift_pts = 5.0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> f64 {
+            it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("missing/invalid value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--check" => check = true,
+            "--max-mean-delta-pct" => max_mean_delta_pct = val("--max-mean-delta-pct"),
+            "--max-requests-delta-pct" => max_requests_delta_pct = val("--max-requests-delta-pct"),
+            "--max-phase-shift-pts" => max_phase_shift_pts = val("--max-phase-shift-pts"),
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of trace_diff.rs");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: trace_diff <a.json> <b.json> [--check] [thresholds]");
+        std::process::exit(2);
+    }
+    Args {
+        a: files.remove(0),
+        b: files.remove(0),
+        check,
+        max_mean_delta_pct,
+        max_requests_delta_pct,
+        max_phase_shift_pts,
+    }
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: malformed export JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn num(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+/// Percent change B vs A; 0 when both sides are 0.
+fn pct_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else if a == 0.0 {
+        f64::INFINITY
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+/// The scalar each series kind is compared on, per window.
+fn window_scalar(kind: &str, value: &Value) -> Option<f64> {
+    match kind {
+        "Counter" => value.get("Counter").map(|c| num(&c["delta"])),
+        "Gauge" => value.get("Gauge").map(|g| num(&g["mean"])),
+        "Quantile" => value.get("Quantile").map(|q| {
+            let p95 = &q["p95"];
+            if p95.is_null() {
+                // Idle windows compare on count (0 == 0 stays equal).
+                num(&q["count"])
+            } else {
+                num(p95)
+            }
+        }),
+        _ => None,
+    }
+}
+
+/// (series name, kind) → window index → (scalar, full value rendering).
+type SeriesWindows = BTreeMap<(String, String), BTreeMap<u64, (f64, String)>>;
+
+fn series_windows(doc: &Value) -> SeriesWindows {
+    let mut out = SeriesWindows::new();
+    let Some(series) = doc["telemetry"]["series"].as_array() else {
+        return out;
+    };
+    for s in series {
+        let name = s["name"].as_str().unwrap_or("?").to_owned();
+        let kind = s["kind"].as_str().unwrap_or("?").to_owned();
+        let mut windows = BTreeMap::new();
+        if let Some(ws) = s["windows"].as_array() {
+            for w in ws {
+                let idx = w["window"].as_u64().unwrap_or(0);
+                let scalar = window_scalar(&kind, &w["value"]).unwrap_or(0.0);
+                windows.insert(idx, (scalar, w["value"].to_string()));
+            }
+        }
+        out.insert((name, kind), windows);
+    }
+    out
+}
+
+fn alert_counts(doc: &Value) -> BTreeMap<(String, String), u64> {
+    let mut out = BTreeMap::new();
+    if let Some(alerts) = doc["slo_alerts"].as_array() {
+        for a in alerts {
+            let key = (
+                a["slo"].as_str().unwrap_or("?").to_owned(),
+                a["signal"].as_str().unwrap_or("?").to_owned(),
+            );
+            *out.entry(key).or_default() += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let a = load(&args.a);
+    let b = load(&args.b);
+    let mut violations: Vec<String> = Vec::new();
+
+    let meta = |d: &Value, k: &str| d["meta"][k].to_string();
+    println!(
+        "A: {} ({} on {}, {} h, seed {})",
+        args.a,
+        meta(&a, "scheme"),
+        meta(&a, "trace"),
+        meta(&a, "hours"),
+        meta(&a, "seed")
+    );
+    println!(
+        "B: {} ({} on {}, {} h, seed {})",
+        args.b,
+        meta(&b, "scheme"),
+        meta(&b, "trace"),
+        meta(&b, "hours"),
+        meta(&b, "seed")
+    );
+    for k in ["scheme", "trace", "window_us"] {
+        if a["meta"][k] != b["meta"][k] {
+            violations.push(format!(
+                "meta mismatch: {k} {} vs {}",
+                meta(&a, k),
+                meta(&b, k)
+            ));
+        }
+    }
+
+    // 1. Headline report deltas.
+    println!("\nreport deltas (B vs A):");
+    let report_fields = [
+        ("user_requests", "requests"),
+        ("mean_response_ms", "mean response (ms)"),
+        ("p95_response_ms", "p95 response (ms)"),
+        ("p99_response_ms", "p99 response (ms)"),
+        ("total_energy_j", "energy (J)"),
+        ("spin_cycles", "spin cycles"),
+    ];
+    let mut mean_delta_pct = 0.0;
+    let mut requests_delta_pct = 0.0;
+    for (key, label) in report_fields {
+        let (va, vb) = (num(&a["report"][key]), num(&b["report"][key]));
+        let d = pct_delta(va, vb);
+        println!("{label:>20}: {va:>14.3} -> {vb:>14.3} ({d:>+8.2}%)");
+        match key {
+            "mean_response_ms" => mean_delta_pct = d,
+            "user_requests" => requests_delta_pct = d,
+            _ => {}
+        }
+    }
+
+    // 2. Event-stream divergence point.
+    let checksums = |d: &Value| -> BTreeMap<u64, (u64, u64)> {
+        d["event_checksums"]
+            .as_array()
+            .map(|cs| {
+                cs.iter()
+                    .map(|c| {
+                        (
+                            c["window"].as_u64().unwrap_or(0),
+                            (
+                                c["fnv"].as_u64().unwrap_or(0),
+                                c["events"].as_u64().unwrap_or(0),
+                            ),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let (ca, cb) = (checksums(&a), checksums(&b));
+    let all_windows: std::collections::BTreeSet<u64> =
+        ca.keys().chain(cb.keys()).copied().collect();
+    let mut divergence: Option<u64> = None;
+    let mut diverged_windows = 0u64;
+    for &w in &all_windows {
+        if ca.get(&w) != cb.get(&w) {
+            diverged_windows += 1;
+            divergence.get_or_insert(w);
+        }
+    }
+    match divergence {
+        None => println!("\nevent streams: zero divergence ({} windows)", ca.len()),
+        Some(w) => {
+            let describe = |c: Option<&(u64, u64)>| match c {
+                Some((fnv, n)) => format!("{n} events, fnv {fnv:016x}"),
+                None => "absent".to_owned(),
+            };
+            println!(
+                "\nevent streams diverge at window {w} ({} of {} windows differ)",
+                diverged_windows,
+                all_windows.len()
+            );
+            println!("  A: {}", describe(ca.get(&w)));
+            println!("  B: {}", describe(cb.get(&w)));
+        }
+    }
+
+    // 3. Per-window metric deltas.
+    let (sa, sb) = (series_windows(&a), series_windows(&b));
+    struct SeriesDelta {
+        name: String,
+        differing: u64,
+        shared: u64,
+        max_delta_pct: f64,
+        at_window: u64,
+    }
+    let mut deltas: Vec<SeriesDelta> = Vec::new();
+    for (key, wa) in &sa {
+        let Some(wb) = sb.get(key) else {
+            println!("series only in A: {}", key.0);
+            continue;
+        };
+        let mut d = SeriesDelta {
+            name: key.0.clone(),
+            differing: 0,
+            shared: 0,
+            max_delta_pct: 0.0,
+            at_window: 0,
+        };
+        for (w, (scalar_a, raw_a)) in wa {
+            let Some((scalar_b, raw_b)) = wb.get(w) else {
+                continue;
+            };
+            d.shared += 1;
+            if raw_a != raw_b {
+                d.differing += 1;
+                let p = pct_delta(*scalar_a, *scalar_b).abs();
+                if p >= d.max_delta_pct {
+                    d.max_delta_pct = p;
+                    d.at_window = *w;
+                }
+            }
+        }
+        if d.differing > 0 {
+            deltas.push(d);
+        }
+    }
+    for key in sb.keys() {
+        if !sa.contains_key(key) {
+            println!("series only in B: {}", key.0);
+        }
+    }
+    if deltas.is_empty() {
+        println!("per-window metrics: identical on every shared series/window");
+    } else {
+        deltas.sort_by(|x, y| y.differing.cmp(&x.differing).then(x.name.cmp(&y.name)));
+        println!(
+            "\nper-window metric deltas (top {} of {} differing series):",
+            deltas.len().min(12),
+            deltas.len()
+        );
+        println!(
+            "{:>32} {:>10} {:>12} {:>12}",
+            "series", "differing", "max-delta", "at-window"
+        );
+        for d in deltas.iter().take(12) {
+            println!(
+                "{:>32} {:>6}/{:<3} {:>11.2}% {:>12}",
+                d.name, d.differing, d.shared, d.max_delta_pct, d.at_window
+            );
+        }
+    }
+
+    // 4. Phase-attribution shifts.
+    println!("\nphase-attribution shifts (B vs A, percentage points):");
+    let mut max_shift = (0.0f64, String::new());
+    let phases_a = a["phases"]["phases"]
+        .as_array()
+        .cloned()
+        .unwrap_or_default();
+    for pa in &phases_a {
+        let name = pa["phase"].as_str().unwrap_or("?");
+        let share_a = num(&pa["share"]) * 100.0;
+        let share_b = b["phases"]["phases"]
+            .as_array()
+            .and_then(|ps| {
+                ps.iter()
+                    .find(|p| p["phase"].as_str() == Some(name))
+                    .map(|p| num(&p["share"]) * 100.0)
+            })
+            .unwrap_or(0.0);
+        let shift = share_b - share_a;
+        if shift.abs() > 0.05 {
+            println!("{name:>12}: {share_a:>6.1}% -> {share_b:>6.1}% ({shift:>+6.1} pts)");
+        }
+        if shift.abs() > max_shift.0 {
+            max_shift = (shift.abs(), name.to_owned());
+        }
+    }
+    if max_shift.0 <= 0.05 {
+        println!("  none above 0.1 pts");
+    }
+
+    // 5. SLO alert counts.
+    let (aa, ab) = (alert_counts(&a), alert_counts(&b));
+    if aa.is_empty() && ab.is_empty() {
+        println!("\nSLO alerts: none on either side");
+    } else {
+        println!("\nSLO alerts per (objective, signal):");
+        let keys: std::collections::BTreeSet<_> = aa.keys().chain(ab.keys()).collect();
+        for k in keys {
+            println!(
+                "{:>16} {:>8}: {:>6} -> {:>6}",
+                k.0,
+                k.1,
+                aa.get(k).copied().unwrap_or(0),
+                ab.get(k).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    // --check: thresholds as a CI gate.
+    if args.check {
+        if mean_delta_pct.abs() > args.max_mean_delta_pct {
+            violations.push(format!(
+                "mean response delta {mean_delta_pct:+.2}% exceeds ±{}%",
+                args.max_mean_delta_pct
+            ));
+        }
+        if requests_delta_pct.abs() > args.max_requests_delta_pct {
+            violations.push(format!(
+                "request count delta {requests_delta_pct:+.2}% exceeds ±{}%",
+                args.max_requests_delta_pct
+            ));
+        }
+        if max_shift.0 > args.max_phase_shift_pts {
+            violations.push(format!(
+                "phase `{}` share shifted {:.1} pts, exceeds {} pts",
+                max_shift.1, max_shift.0, args.max_phase_shift_pts
+            ));
+        }
+        if violations.is_empty() {
+            println!(
+                "\ncheck: within thresholds (mean ±{}%, requests ±{}%, phase shift {} pts){}",
+                args.max_mean_delta_pct,
+                args.max_requests_delta_pct,
+                args.max_phase_shift_pts,
+                if divergence.is_none() {
+                    ", zero event-stream divergence"
+                } else {
+                    ""
+                }
+            );
+        } else {
+            eprintln!("\ncheck: {} violations:", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //! * `--scrub` — shrink the disks, enable the background scrub and
 //!   latent-error injection (DESIGN.md §11) so scrub events appear in
 //!   the stream.
+//! * `--slo` — print the scheme's SLO burn/breach summary (per
+//!   objective: warnings, breaches, first firing windows, peak burn)
+//!   from the run's `SloBurnWarning`/`SloBreach` events (DESIGN.md
+//!   §12).
 //! * `--check` — re-parse every emitted line with the vendored JSON
 //!   parser and validate that events touching the same disk carry
 //!   non-decreasing timestamps; exit non-zero on any malformed line or
@@ -21,7 +25,11 @@
 //!   the scrub lifecycle: per disk, every pass opens with `ScrubStart`,
 //!   repairs land only inside an open pass, `ScrubComplete` closes the
 //!   pass it opened, and no scrub event ever touches a disk whose
-//!   tracked power state is spun down.
+//!   tracked power state is spun down. It always checks the SLO alert
+//!   lifecycle — within one telemetry window a `SloBreach` must be
+//!   preceded by that objective's `SloBurnWarning` — and with `--slo`
+//!   on RoLo-E (the scheme the pipeline exists to flag) it fails if
+//!   the run produced no SLO events at all (vacuous check).
 
 use rolo_core::{run_scheme_with_sink, Scheme, SimConfig};
 use rolo_obs::{RingSink, TracedEvent};
@@ -43,6 +51,7 @@ struct Args {
     out: Option<String>,
     check: bool,
     scrub: bool,
+    slo: bool,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +64,7 @@ fn parse_args() -> Args {
         out: None,
         check: false,
         scrub: false,
+        slo: false,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -71,6 +81,7 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(val("--out")),
             "--check" => args.check = true,
             "--scrub" => args.scrub = true,
+            "--slo" => args.slo = true,
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of trace_dump.rs");
                 std::process::exit(0);
@@ -242,6 +253,64 @@ fn main() {
     }
     residency.finish(end);
     residency.print();
+
+    // --slo: per-objective burn/breach summary from the event stream
+    // (DESIGN.md §12). Burn rates travel in the events as x100 fixed
+    // point, so the peak column is exact, not re-derived.
+    if args.slo {
+        use rolo_obs::SimEvent;
+        #[derive(Default)]
+        struct SloTally {
+            warnings: u64,
+            breaches: u64,
+            first_warn: Option<u64>,
+            first_breach: Option<u64>,
+            peak_burn_x100: u64,
+        }
+        let mut tallies: BTreeMap<String, SloTally> = BTreeMap::new();
+        for ev in &events {
+            match &ev.event {
+                SimEvent::SloBurnWarning {
+                    slo,
+                    window,
+                    burn_short_x100,
+                    ..
+                } => {
+                    let t = tallies.entry(slo.clone()).or_default();
+                    t.warnings += 1;
+                    t.first_warn.get_or_insert(*window);
+                    t.peak_burn_x100 = t.peak_burn_x100.max(*burn_short_x100);
+                }
+                SimEvent::SloBreach { slo, window, .. } => {
+                    let t = tallies.entry(slo.clone()).or_default();
+                    t.breaches += 1;
+                    t.first_breach.get_or_insert(*window);
+                }
+                _ => {}
+            }
+        }
+        println!("\nSLO burn/breach summary ({}):", report.scheme);
+        if tallies.is_empty() {
+            println!("  no SLO events: every objective stayed within budget");
+        } else {
+            println!(
+                "{:>16} {:>9} {:>9} {:>11} {:>13} {:>10}",
+                "slo", "warnings", "breaches", "first-warn", "first-breach", "peak-burn"
+            );
+            let fmt_w = |w: Option<u64>| w.map_or("-".to_owned(), |w| format!("w{w}"));
+            for (slo, t) in &tallies {
+                println!(
+                    "{:>16} {:>9} {:>9} {:>11} {:>13} {:>9.2}x",
+                    slo,
+                    t.warnings,
+                    t.breaches,
+                    fmt_w(t.first_warn),
+                    fmt_w(t.first_breach),
+                    t.peak_burn_x100 as f64 / 100.0
+                );
+            }
+        }
+    }
 
     println!(
         "\nscheme {} | {} requests | mean response {:.3} ms | {}",
@@ -447,11 +516,50 @@ fn main() {
             eprintln!("check: --scrub run produced no scrub events (vacuous check)");
             std::process::exit(1);
         }
+        // SLO alert lifecycle (DESIGN.md §12): the monitor's breach
+        // condition subsumes its warning condition, so within any one
+        // telemetry window a SloBreach for an objective must appear
+        // after that objective's SloBurnWarning in the stream.
+        let mut warned: std::collections::BTreeSet<(String, u64)> = Default::default();
+        let mut slo_events = 0u64;
+        let mut slo_violations = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            match &ev.event {
+                SimEvent::SloBurnWarning { slo, window, .. } => {
+                    slo_events += 1;
+                    warned.insert((slo.clone(), *window));
+                }
+                SimEvent::SloBreach { slo, window, .. } => {
+                    slo_events += 1;
+                    if !warned.contains(&(slo.clone(), *window)) {
+                        slo_violations += 1;
+                        eprintln!(
+                            "event {i}: SloBreach({slo}, w{window}) with no \
+                             preceding warning in its window"
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        if slo_violations > 0 {
+            eprintln!("check: {slo_violations} SLO-lifecycle violations");
+            std::process::exit(1);
+        }
+        // The pipeline exists to flag RoLo-E's spin-up tail: a --slo
+        // check run on that scheme that raises no alert at all proves
+        // nothing, so fail it as vacuous (mirrors the --scrub guard).
+        if args.slo && matches!(args.scheme, Scheme::RoloE) && slo_events == 0 {
+            eprintln!("check: --slo run on rolo-e produced no SLO events (vacuous check)");
+            std::process::exit(1);
+        }
         println!(
             "check: {} JSONL lines parse cleanly, per-disk timestamps monotone, \
-             segment lifecycle ordered, scrub lifecycle ordered ({} scrub events)",
+             segment lifecycle ordered, scrub lifecycle ordered ({} scrub events), \
+             SLO lifecycle ordered ({} SLO events)",
             text.lines().count(),
-            scrub_events
+            scrub_events,
+            slo_events
         );
     }
 }

@@ -97,6 +97,41 @@ fn trace_event_sequence_is_deterministic() {
 }
 
 #[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let dur = Duration::from_secs(900);
+    for scheme in Scheme::all() {
+        let cfg_on = small_cfg(scheme);
+        assert!(cfg_on.telemetry_enabled, "telemetry is on by default");
+        let mut cfg_off = small_cfg(scheme);
+        cfg_off.telemetry_enabled = false;
+        let on = run_records(&cfg_on, workload(dur, 33), dur);
+        let off = run_records(&cfg_off, workload(dur, 33), dur);
+        assert_eq!(
+            on.deterministic_json(),
+            off.deterministic_json(),
+            "telemetry changed the simulation for {scheme}"
+        );
+    }
+    // The out-of-band observations themselves are deterministic: two
+    // identical runs export identical snapshots and alert lists.
+    let cfg = small_cfg(Scheme::RoloE);
+    let observe = || {
+        let (_, obs) = rolo_core::run_scheme_observed(
+            &cfg,
+            workload(dur, 33),
+            dur,
+            Box::new(rolo_obs::NullSink),
+            false,
+        );
+        (obs.telemetry.expect("telemetry on"), obs.slo_alerts)
+    };
+    let (snap_a, alerts_a) = observe();
+    let (snap_b, alerts_b) = observe();
+    assert_eq!(snap_a, snap_b, "telemetry snapshots diverged");
+    assert_eq!(alerts_a, alerts_b, "SLO alerts diverged");
+}
+
+#[test]
 fn span_recording_does_not_perturb_the_simulation() {
     let dur = Duration::from_secs(900);
     for scheme in Scheme::all() {

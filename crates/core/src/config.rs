@@ -2,6 +2,7 @@
 
 use crate::faults::{FaultPlan, FaultPlanError};
 use rolo_disk::{DiskParams, SchedulerKind};
+use rolo_obs::{BurnRatePolicy, Quantile, SloSpec};
 use rolo_raid::{ArrayGeometry, GeometryError};
 use rolo_sim::Duration;
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,22 @@ pub struct SimConfig {
     /// most one chunk per eligible disk, and only on disks that are
     /// already spun up — the power-aware rule.
     pub scrub_interval: Duration,
+    /// Run the online telemetry hub (DESIGN.md §12): windowed rollups
+    /// of response quantiles, power and per-disk activity, plus SLO
+    /// burn-rate monitoring. On by default — the hub is observational
+    /// only, so the simulation outcome is identical either way.
+    pub telemetry_enabled: bool,
+    /// Telemetry rollup window length (window `k` covers
+    /// `[k·w, (k+1)·w)` of simulated time).
+    pub telemetry_window: Duration,
+    /// Closed telemetry windows retained per series before the oldest
+    /// is evicted.
+    pub telemetry_retain: usize,
+    /// Declarative SLOs evaluated online against every closed
+    /// telemetry window.
+    pub slos: Vec<SloSpec>,
+    /// Multi-window burn-rate alerting thresholds shared by all SLOs.
+    pub slo_burn: BurnRatePolicy,
 }
 
 fn default_log_segment() -> u64 {
@@ -131,6 +148,30 @@ fn default_compact_live_frac() -> f64 {
 
 fn default_archive_ttl() -> Duration {
     Duration::from_secs(60)
+}
+
+/// Default SLO set: a p95 response-time bound loose enough that a
+/// healthy scheme (RoLo-P on every paper trace) never trips it, yet
+/// far below RoLo-E's multi-second spin-up tail; and a mean-power
+/// budget above any paper configuration's steady draw.
+fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency("latency_p95", Quantile::P95, Duration::from_millis(500)),
+        SloSpec::energy("power_budget", 600.0),
+    ]
+}
+
+/// Default burn-rate thresholds (SRE-style 5/15-window pairing over a
+/// 10 % error budget): a warning needs a sustained short-lookback
+/// burn, a breach needs both lookbacks saturated.
+fn default_burn_policy() -> BurnRatePolicy {
+    BurnRatePolicy {
+        short_windows: 5,
+        long_windows: 15,
+        error_budget: 0.1,
+        warn_burn: 2.0,
+        breach_burn: 5.0,
+    }
 }
 
 impl SimConfig {
@@ -163,6 +204,11 @@ impl SimConfig {
             scrub_enabled: false,
             scrub_chunk: 1 << 20,
             scrub_interval: Duration::from_millis(500),
+            telemetry_enabled: true,
+            telemetry_window: Duration::from_secs(60),
+            telemetry_retain: 256,
+            slos: default_slos(),
+            slo_burn: default_burn_policy(),
         }
     }
 
@@ -254,6 +300,18 @@ impl SimConfig {
             }
             if self.scrub_interval.is_zero() {
                 return Err(ConfigError::Tunable("zero scrub interval"));
+            }
+        }
+        if self.telemetry_enabled {
+            if self.telemetry_window.is_zero() {
+                return Err(ConfigError::Tunable("zero telemetry window"));
+            }
+            if self.telemetry_retain == 0 {
+                return Err(ConfigError::Tunable("zero telemetry retention"));
+            }
+            self.slo_burn.check().map_err(ConfigError::Tunable)?;
+            for slo in &self.slos {
+                slo.check().map_err(ConfigError::Tunable)?;
             }
         }
         self.faults
@@ -362,6 +420,38 @@ mod tests {
         // With scrubbing disabled the knobs are inert and unchecked.
         c.scrub_enabled = false;
         c.scrub_chunk = 0;
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn check_flags_bad_telemetry_knobs() {
+        let mut c = SimConfig::paper_default(Scheme::RoloP, 4);
+        assert!(c.check().is_ok(), "defaults validate");
+        c.telemetry_window = Duration::ZERO;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable("zero telemetry window"))
+        );
+        c.telemetry_window = Duration::from_secs(60);
+        c.telemetry_retain = 0;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable("zero telemetry retention"))
+        );
+        c.telemetry_retain = 16;
+        c.slo_burn.breach_burn = 0.1;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable(
+                "breach burn threshold must be at least the warn threshold"
+            ))
+        );
+        c.slo_burn = default_burn_policy();
+        c.slos.push(SloSpec::energy("bad", -1.0));
+        assert!(matches!(c.check(), Err(ConfigError::Tunable(_))));
+        // With telemetry disabled the knobs are inert and unchecked.
+        c.telemetry_enabled = false;
+        c.telemetry_retain = 0;
         assert!(c.check().is_ok());
     }
 

@@ -11,8 +11,12 @@ use crate::recovery::RecoveryPlan;
 use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
 use rolo_disk::{DiskEnergyReport, IntegrityMap, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
-use rolo_obs::{BgSpanKind, LegFlavor, SpanCollector, SpanSet};
+use rolo_obs::{critical_path, BgSpanKind, LegFlavor, SpanCollector, SpanSet, NUM_PHASES};
 use rolo_obs::{MetricId, MetricsRegistry, NullSink, SimEvent, TraceSink};
+use rolo_obs::{
+    Phase, RollupValue, SeriesId, SloAlert, SloMonitor, SloSignal, Telemetry, TelemetrySnapshot,
+    WindowObservation,
+};
 use rolo_raid::ArrayGeometry;
 use rolo_sim::{Duration, SimRng, SimTime};
 use rolo_trace::ReqKind;
@@ -192,6 +196,38 @@ pub struct SimCtx {
     scrub_ios: HashMap<u64, (DiskId, ScrubPhase, u64, u64)>,
     /// Open scrub span ids, keyed by the disk being scrubbed.
     scrub_spans: HashMap<DiskId, u64>,
+    /// Online telemetry hub + SLO monitor, present only when
+    /// `SimConfig::telemetry_enabled`. The simulation never reads it and
+    /// it schedules no events of its own (windows advance on the
+    /// existing power-sampling hook), so enabling or disabling it
+    /// cannot perturb outcomes.
+    telemetry: Option<CtxTelemetry>,
+    /// Every SLO alert raised this run, in emission order; drained by
+    /// the driver alongside the telemetry snapshot.
+    slo_alerts: Vec<SloAlert>,
+}
+
+/// The context's half of the telemetry pipeline: the windowed rollup
+/// hub, pre-registered series ids for every emit point, and the SLO
+/// monitor fed by each closed window.
+#[derive(Debug)]
+struct CtxTelemetry {
+    hub: Telemetry,
+    monitor: SloMonitor,
+    /// Response-time quantile series (µs) — the series SLO latency
+    /// objectives read.
+    response_us: SeriesId,
+    /// Array power gauge (W) — the series energy budgets read.
+    power_w: SeriesId,
+    /// Completed user requests per window.
+    completions: SeriesId,
+    /// Dispatched bytes per window.
+    dispatched_bytes: SeriesId,
+    /// Per-disk power-state transitions, indexed by slot.
+    disk_transitions: Vec<SeriesId>,
+    /// Per-span-phase critical-path microseconds (populated only when
+    /// span recording is also on), indexed by `Phase::index()`.
+    phase_us: [SeriesId; NUM_PHASES],
 }
 
 /// Pre-registered hot-path metric ids, so emit points index the registry
@@ -253,6 +289,28 @@ impl SimCtx {
             power_w: metrics.gauge("sim.power_w"),
             outstanding: metrics.gauge("sim.outstanding_users"),
         };
+        let telemetry = cfg.telemetry_enabled.then(|| {
+            let mut hub = Telemetry::new(cfg.telemetry_window, cfg.telemetry_retain);
+            let response_us = hub.quantile("sim.response_us");
+            let power_w = hub.gauge("sim.power_w");
+            let completions = hub.counter("sim.user_completions");
+            let dispatched_bytes = hub.counter("io.dispatched_bytes");
+            let disk_transitions = (0..disk_count)
+                .map(|d| hub.counter(&format!("disk.{d:02}.state_transitions")))
+                .collect();
+            let phase_us =
+                Phase::ALL.map(|p| hub.counter(&format!("phase.{}.critical_path_us", p.name())));
+            CtxTelemetry {
+                hub,
+                monitor: SloMonitor::new(cfg.slo_burn, cfg.slos.clone()),
+                response_us,
+                power_w,
+                completions,
+                dispatched_bytes,
+                disk_transitions,
+                phase_us,
+            }
+        });
         let trace_on = sink.enabled();
         SimCtx {
             now: SimTime::ZERO,
@@ -301,6 +359,8 @@ impl SimCtx {
             scrub_state: vec![ScrubDiskState::default(); disk_count],
             scrub_ios: HashMap::new(),
             scrub_spans: HashMap::new(),
+            telemetry,
+            slo_alerts: Vec::new(),
         }
     }
 
@@ -452,14 +512,81 @@ impl SimCtx {
     }
 
     /// Driver hook: refreshes the sampled gauges (array power draw,
-    /// outstanding user requests) and snapshots every registry metric
-    /// into its timeline. Called at the driver's power-sampling cadence.
+    /// outstanding user requests), snapshots every registry metric
+    /// into its timeline, and advances the telemetry windows. Called at
+    /// the driver's power-sampling cadence — telemetry piggybacks on
+    /// this existing hook instead of scheduling events of its own, so
+    /// it cannot perturb the event order.
     pub fn sample_metrics(&mut self) {
         let power = self.total_power_w();
         let outstanding = self.outstanding.len() as f64;
         self.metrics.set(self.mids.power_w, power);
         self.metrics.set(self.mids.outstanding, outstanding);
         self.metrics.snapshot(self.now);
+        self.telemetry_tick(power);
+    }
+
+    /// Samples the power gauge into the telemetry hub, closes every
+    /// elapsed window, and feeds each closed window to the SLO monitor,
+    /// emitting the resulting alerts as trace events.
+    fn telemetry_tick(&mut self, power: f64) {
+        let now = self.now;
+        let mut alerts = Vec::new();
+        if let Some(tel) = &mut self.telemetry {
+            tel.hub.set(tel.power_w, power);
+            for w in tel.hub.advance(now) {
+                let Some(latency) = tel.hub.rollup(tel.response_us, w.window) else {
+                    continue; // evicted by a coarse multi-window close
+                };
+                let RollupValue::Quantile(latency) = latency.value.clone() else {
+                    unreachable!("response series is a quantile series");
+                };
+                let mean_watts = match tel.hub.rollup(tel.power_w, w.window).map(|r| &r.value) {
+                    Some(RollupValue::Gauge { mean, .. }) => *mean,
+                    _ => 0.0,
+                };
+                alerts.extend(tel.monitor.observe_window(WindowObservation {
+                    window: w.window,
+                    latency: &latency,
+                    mean_watts,
+                }));
+            }
+        }
+        for a in &alerts {
+            self.emit(|| match a.signal {
+                SloSignal::Warning => SimEvent::SloBurnWarning {
+                    slo: a.slo.clone(),
+                    window: a.window,
+                    burn_short_x100: (a.burn_short * 100.0).round() as u64,
+                    burn_long_x100: (a.burn_long * 100.0).round() as u64,
+                },
+                SloSignal::Breach => SimEvent::SloBreach {
+                    slo: a.slo.clone(),
+                    window: a.window,
+                    observed_x1000: (a.observed * 1000.0).round() as u64,
+                    target_x1000: (a.target * 1000.0).round() as u64,
+                },
+            });
+        }
+        self.slo_alerts.extend(alerts);
+    }
+
+    /// True when the telemetry hub is on.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Driver hook: exports the telemetry hub's retained windows, if
+    /// telemetry was on.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySnapshot> {
+        self.telemetry.take().map(|t| t.hub.snapshot())
+    }
+
+    /// Driver hook: drains the SLO alerts raised so far, in emission
+    /// order.
+    pub fn take_slo_alerts(&mut self) -> Vec<SloAlert> {
+        std::mem::take(&mut self.slo_alerts)
     }
 
     /// Bumps the transition counter and emits [`SimEvent::DiskState`]
@@ -468,6 +595,9 @@ impl SimCtx {
         let after = self.disks[disk].power_state();
         if after != before {
             self.metrics.inc(self.mids.disk_transitions, 1);
+            if let Some(tel) = &mut self.telemetry {
+                tel.hub.add(tel.disk_transitions[disk], 1.0);
+            }
             self.emit(|| SimEvent::DiskState {
                 disk,
                 from: before,
@@ -535,6 +665,9 @@ impl SimCtx {
         }
         self.metrics.inc(self.mids.dispatches, 1);
         self.metrics.inc(self.mids.dispatched_bytes, bytes);
+        if let Some(tel) = &mut self.telemetry {
+            tel.hub.add(tel.dispatched_bytes, bytes as f64);
+        }
         self.note_disk_state(disk, before);
         self.emit(|| SimEvent::RequestDispatch {
             io: id,
@@ -675,8 +808,13 @@ impl SimCtx {
             return None;
         }
         let o = self.outstanding.remove(&user_id).expect("present");
+        let mut phase_us: Option<[u64; NUM_PHASES]> = None;
         if let Some(s) = &mut self.spans {
-            s.close_request(user_id, self.now);
+            if let Some(span) = s.close_request(user_id, self.now) {
+                if self.telemetry.is_some() {
+                    phase_us = Some(critical_path(span).phase_us);
+                }
+            }
         }
         let response = self.now.since(o.arrival);
         self.responses.record(response);
@@ -690,6 +828,18 @@ impl SimCtx {
         self.metrics.inc(self.mids.user_completions, 1);
         self.metrics
             .observe(self.mids.response_us, response.as_micros() as f64);
+        if let Some(tel) = &mut self.telemetry {
+            tel.hub.add(tel.completions, 1.0);
+            tel.hub
+                .observe(tel.response_us, response.as_micros() as f64);
+            if let Some(phase_us) = phase_us {
+                for (i, &us) in phase_us.iter().enumerate() {
+                    if us > 0 {
+                        tel.hub.add(tel.phase_us[i], us as f64);
+                    }
+                }
+            }
+        }
         self.emit(|| SimEvent::RequestComplete {
             id: user_id,
             kind: o.kind,

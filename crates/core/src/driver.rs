@@ -16,7 +16,7 @@ use crate::policy::Policy;
 use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
-use rolo_obs::{NullSink, RunProfile, SimEvent, SpanSet, TraceSink};
+use rolo_obs::{NullSink, RunProfile, SimEvent, SloAlert, SpanSet, TelemetrySnapshot, TraceSink};
 use rolo_sim::{Duration, EventQueue, SimTime};
 use rolo_trace::TraceRecord;
 use std::time::Instant;
@@ -46,6 +46,23 @@ enum Event {
     /// Periodic scrub scheduling slot (only scheduled when enabled).
     ScrubTick,
     TraceEnd,
+}
+
+/// Everything a run observed out-of-band of its [`SimReport`]: the
+/// trace sink, per-request spans (when enabled), the telemetry
+/// snapshot (when enabled) and every SLO alert raised online. All of
+/// it is observational — none of it feeds back into the simulation —
+/// so the report stays byte-identical no matter which parts are on.
+#[derive(Debug)]
+pub struct RunObservations {
+    /// The trace sink handed in by the caller, for draining.
+    pub sink: Box<dyn TraceSink>,
+    /// Completed request/background spans, when span recording was on.
+    pub spans: Option<SpanSet>,
+    /// Retained telemetry windows, when telemetry was on.
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// SLO alerts raised during the run, in emission order.
+    pub slo_alerts: Vec<SloAlert>,
 }
 
 /// Snapshot captured at the `TraceEnd` marker.
@@ -92,6 +109,21 @@ pub fn run_trace_returning<P: Policy>(
     (report, policy)
 }
 
+/// Like [`run_trace_returning`], but exposes every out-of-band
+/// observation stream at once — trace sink, spans (when `spans`),
+/// telemetry snapshot and SLO alerts. This is the entry point of the
+/// `metrics_export` tool, which needs all of them for one run.
+pub fn run_trace_observed<P: Policy>(
+    cfg: &SimConfig,
+    records: impl IntoIterator<Item = TraceRecord>,
+    policy: P,
+    duration: Duration,
+    sink: Box<dyn TraceSink>,
+    spans: bool,
+) -> (SimReport, P, RunObservations) {
+    run_trace_inner(cfg, records, policy, duration, sink, spans)
+}
+
 /// Like [`run_trace_returning`], but records structured [`SimEvent`]s
 /// into `sink` and hands the sink back for draining (see `rolo_obs`).
 ///
@@ -105,8 +137,8 @@ pub fn run_trace_with_sink<P: Policy>(
     duration: Duration,
     sink: Box<dyn TraceSink>,
 ) -> (SimReport, P, Box<dyn TraceSink>) {
-    let (report, policy, sink, _) = run_trace_inner(cfg, records, policy, duration, sink, false);
-    (report, policy, sink)
+    let (report, policy, obs) = run_trace_inner(cfg, records, policy, duration, sink, false);
+    (report, policy, obs.sink)
 }
 
 /// Like [`run_trace_returning`], but records a per-request span tree
@@ -123,9 +155,13 @@ pub fn run_trace_spanned<P: Policy>(
     policy: P,
     duration: Duration,
 ) -> (SimReport, P, SpanSet) {
-    let (report, policy, _, spans) =
+    let (report, policy, obs) =
         run_trace_inner(cfg, records, policy, duration, Box::new(NullSink), true);
-    (report, policy, spans.expect("span recording was enabled"))
+    (
+        report,
+        policy,
+        obs.spans.expect("span recording was enabled"),
+    )
 }
 
 fn run_trace_inner<P: Policy>(
@@ -135,7 +171,7 @@ fn run_trace_inner<P: Policy>(
     duration: Duration,
     sink: Box<dyn TraceSink>,
     spans: bool,
-) -> (SimReport, P, Box<dyn TraceSink>, Option<SpanSet>) {
+) -> (SimReport, P, RunObservations) {
     if let Err(e) = cfg.check() {
         panic!("invalid configuration: {e}");
     }
@@ -450,8 +486,13 @@ fn run_trace_inner<P: Policy>(
         metrics: ctx.metrics.export(),
         profile,
     };
-    let spans_out = ctx.take_spans();
-    (report, policy, sink, spans_out)
+    let obs = RunObservations {
+        sink,
+        spans: ctx.take_spans(),
+        telemetry: ctx.take_telemetry(),
+        slo_alerts: ctx.take_slo_alerts(),
+    };
+    (report, policy, obs)
 }
 
 /// Wraps a record into the logical address space, aligned and clipped.
@@ -506,8 +547,8 @@ pub fn run_scheme_with_sink(
     duration: Duration,
     sink: Box<dyn TraceSink>,
 ) -> (SimReport, Box<dyn TraceSink>) {
-    let (report, sink, _) = run_scheme_inner(cfg, records, duration, sink, false);
-    (report, sink)
+    let (report, obs) = run_scheme_observed(cfg, records, duration, sink, false);
+    (report, obs.sink)
 }
 
 /// Like [`run_scheme`], but with per-request span recording on — the
@@ -519,22 +560,26 @@ pub fn run_scheme_spanned(
     records: impl IntoIterator<Item = TraceRecord>,
     duration: Duration,
 ) -> (SimReport, SpanSet) {
-    let (report, _, spans) = run_scheme_inner(cfg, records, duration, Box::new(NullSink), true);
-    (report, spans.expect("span recording was enabled"))
+    let (report, obs) = run_scheme_observed(cfg, records, duration, Box::new(NullSink), true);
+    (report, obs.spans.expect("span recording was enabled"))
 }
 
-fn run_scheme_inner(
+/// Like [`run_scheme`], but exposes every out-of-band observation
+/// stream at once: the trace sink, spans (when `spans` is set), the
+/// telemetry snapshot and the run's SLO alerts — the entry point of
+/// the `metrics_export` tool.
+pub fn run_scheme_observed(
     cfg: &SimConfig,
     records: impl IntoIterator<Item = TraceRecord>,
     duration: Duration,
     sink: Box<dyn TraceSink>,
     spans: bool,
-) -> (SimReport, Box<dyn TraceSink>, Option<SpanSet>) {
+) -> (SimReport, RunObservations) {
     use crate::config::Scheme;
     let geo = cfg.geometry().expect("invalid geometry");
     match cfg.scheme {
         Scheme::Raid10 => {
-            let (report, _, sink, spans) = run_trace_inner(
+            let (report, _, obs) = run_trace_inner(
                 cfg,
                 records,
                 crate::raid10::Raid10Policy::new(),
@@ -542,7 +587,7 @@ fn run_scheme_inner(
                 sink,
                 spans,
             );
-            (report, sink, spans)
+            (report, obs)
         }
         Scheme::Graid => {
             let mut policy = crate::graid::GraidPolicy::new(
@@ -553,9 +598,8 @@ fn run_scheme_inner(
                 cfg.destage_chunk,
             );
             policy.set_segment_tuning(cfg.log_segment, cfg.archive_ttl);
-            let (report, _, sink, spans) =
-                run_trace_inner(cfg, records, policy, duration, sink, spans);
-            (report, sink, spans)
+            let (report, _, obs) = run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, obs)
         }
         Scheme::RoloP | Scheme::RoloR => {
             let flavor = if cfg.scheme == Scheme::RoloP {
@@ -576,9 +620,8 @@ fn run_scheme_inner(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_loggers(cfg.rolo_on_duty);
             }
-            let (report, _, sink, spans) =
-                run_trace_inner(cfg, records, policy, duration, sink, spans);
-            (report, sink, spans)
+            let (report, _, obs) = run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, obs)
         }
         Scheme::RoloE => {
             let mut policy = crate::roloe::RoloEPolicy::new(
@@ -595,9 +638,8 @@ fn run_scheme_inner(
             if cfg.rolo_on_duty > 1 {
                 policy.set_on_duty_pairs(cfg.rolo_on_duty);
             }
-            let (report, _, sink, spans) =
-                run_trace_inner(cfg, records, policy, duration, sink, spans);
-            (report, sink, spans)
+            let (report, _, obs) = run_trace_inner(cfg, records, policy, duration, sink, spans);
+            (report, obs)
         }
     }
 }

@@ -113,6 +113,26 @@ impl LatencyHistogram {
     }
 }
 
+/// Exact sample percentile over raw observations — the ground-truth
+/// reference every bucketed estimator in the workspace is validated
+/// against. Returns the value at 1-based rank `ceil(p/100 · n)` of the
+/// sorted samples (`None` when empty), matching the rank convention of
+/// [`LatencyHistogram::percentile`] and `rolo_obs`'s quantile sketch.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn exact_percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +203,17 @@ mod tests {
         h.record(Duration::from_secs(100_000));
         assert_eq!(h.count(), 2);
         assert!(h.percentile(100.0).is_some());
+    }
+
+    #[test]
+    fn exact_percentile_rank_convention() {
+        assert_eq!(exact_percentile(&[], 50.0), None);
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(exact_percentile(&v, 0.0), Some(1.0));
+        assert_eq!(exact_percentile(&v, 50.0), Some(3.0));
+        assert_eq!(exact_percentile(&v, 100.0), Some(5.0));
+        // rank = ceil(0.95 * 5) = 5 → the max.
+        assert_eq!(exact_percentile(&v, 95.0), Some(5.0));
     }
 
     proptest! {

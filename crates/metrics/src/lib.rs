@@ -22,7 +22,7 @@ pub mod intervals;
 pub mod response;
 pub mod timeline;
 
-pub use histogram::LatencyHistogram;
+pub use histogram::{exact_percentile, LatencyHistogram};
 pub use intervals::{IntervalTracker, Phase, PhaseSummary};
 pub use response::ResponseStats;
 pub use timeline::Timeline;

@@ -292,6 +292,32 @@ pub enum SimEvent {
         /// Extent length in bytes.
         bytes: u64,
     },
+    /// An SLO's short-lookback burn rate crossed the warning threshold
+    /// when a telemetry window closed (DESIGN.md §12).
+    SloBurnWarning {
+        /// Name of the SLO objective (e.g. `latency_p95`).
+        slo: String,
+        /// Telemetry window index whose close fired the alert.
+        window: u64,
+        /// Burn rate over the short lookback, in hundredths.
+        burn_short_x100: u64,
+        /// Burn rate over the long lookback, in hundredths.
+        burn_long_x100: u64,
+    },
+    /// An SLO's burn rate crossed the breach threshold on both
+    /// lookbacks; within a window a breach always follows its
+    /// [`SimEvent::SloBurnWarning`].
+    SloBreach {
+        /// Name of the SLO objective (e.g. `latency_p95`).
+        slo: String,
+        /// Telemetry window index whose close fired the alert.
+        window: u64,
+        /// The window's observed value in milli-units (ns for latency
+        /// objectives, mW for energy objectives).
+        observed_x1000: u64,
+        /// The objective's bound, in the same milli-units.
+        target_x1000: u64,
+    },
     /// The trace ran out; the driver began draining in-flight work.
     TraceEnded,
 }
@@ -336,6 +362,8 @@ impl SimEvent {
             SimEvent::ScrubRepair { .. } => "ScrubRepair",
             SimEvent::ScrubComplete { .. } => "ScrubComplete",
             SimEvent::ExtentLost { .. } => "ExtentLost",
+            SimEvent::SloBurnWarning { .. } => "SloBurnWarning",
+            SimEvent::SloBreach { .. } => "SloBreach",
             SimEvent::TraceEnded => "TraceEnded",
         }
     }

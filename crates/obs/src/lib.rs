@@ -24,14 +24,26 @@ pub mod event;
 pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod sketch;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use event::{SimEvent, TracedEvent};
 pub use profile::RunProfile;
 pub use registry::{MetricId, MetricKind, MetricSummary, MetricsRegistry, MetricsReport};
 pub use sink::{NullSink, RingSink, TraceSink};
+pub use sketch::{QuantileSketch, SketchDigest};
+pub use slo::{
+    BurnRatePolicy, Quantile, SloAlert, SloMonitor, SloObjective, SloSignal, SloSpec,
+    WindowObservation,
+};
 pub use span::{
     critical_path, AttributionSummary, BgSpan, BgSpanKind, LegFlavor, PathAttribution, Phase,
     PhaseShare, PhaseSlice, PhaseStats, RequestSpan, SpanAnalysis, SpanCollector, SpanLeg, SpanSet,
     NUM_PHASES,
+};
+pub use timeseries::{
+    ClosedWindow, RollupValue, SeriesId, SeriesKind, SeriesSnapshot, Telemetry, TelemetrySnapshot,
+    WindowRollup,
 };

@@ -5,6 +5,7 @@
 //! clock and its export sorts metrics by name, so two runs with the same
 //! seed and config export byte-identical reports regardless of tracing.
 
+use crate::sketch::QuantileSketch;
 use rolo_metrics::Timeline;
 use rolo_sim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -20,7 +21,8 @@ pub enum MetricKind {
     Counter,
     /// Point-in-time level (outstanding requests, watts, ...).
     Gauge,
-    /// Distribution of observed values in log2 buckets.
+    /// Distribution of observed values in a mergeable log-bucketed
+    /// quantile sketch ([`QuantileSketch`], ≤ 1 % relative error).
     Histogram,
 }
 
@@ -30,13 +32,8 @@ struct Metric {
     kind: MetricKind,
     /// Counter running total, or latest gauge level.
     value: f64,
-    /// Histogram observation count.
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-    /// Log2 buckets: index `i` counts observations in `[2^(i-1), 2^i)`.
-    buckets: Vec<u64>,
+    /// Histogram observations (count/sum/extremes/quantiles).
+    sketch: QuantileSketch,
     timeline: Timeline,
 }
 
@@ -44,7 +41,7 @@ impl Metric {
     fn current(&self) -> f64 {
         match self.kind {
             MetricKind::Counter | MetricKind::Gauge => self.value,
-            MetricKind::Histogram => self.count as f64,
+            MetricKind::Histogram => self.sketch.count() as f64,
         }
     }
 }
@@ -100,11 +97,7 @@ impl MetricsRegistry {
             name: name.to_string(),
             kind,
             value: 0.0,
-            count: 0,
-            sum: 0.0,
-            min: 0.0,
-            max: 0.0,
-            buckets: Vec::new(),
+            sketch: QuantileSketch::new(),
             timeline: Timeline::new(self.snapshot_interval),
         });
         self.index.insert(name.to_string(), id);
@@ -127,20 +120,14 @@ impl MetricsRegistry {
     pub fn observe(&mut self, id: MetricId, value: f64) {
         let m = &mut self.metrics[id];
         debug_assert_eq!(m.kind, MetricKind::Histogram);
-        if m.count == 0 {
-            m.min = value;
-            m.max = value;
-        } else {
-            m.min = m.min.min(value);
-            m.max = m.max.max(value);
-        }
-        m.count += 1;
-        m.sum += value;
-        let bucket = bucket_index(value);
-        if m.buckets.len() <= bucket {
-            m.buckets.resize(bucket + 1, 0);
-        }
-        m.buckets[bucket] += 1;
+        m.sketch.record(value);
+    }
+
+    /// Read-only view of a histogram metric's sketch (e.g. for fleet
+    /// merges across shards).
+    pub fn sketch(&self, id: MetricId) -> &QuantileSketch {
+        debug_assert_eq!(self.metrics[id].kind, MetricKind::Histogram);
+        &self.metrics[id].sketch
     }
 
     /// Current value of a counter/gauge (histograms report their count).
@@ -180,27 +167,20 @@ impl MetricsRegistry {
                     name: m.name.clone(),
                     kind: m.kind,
                     value: m.current(),
-                    count: m.count,
-                    sum: m.sum,
-                    min: m.min,
-                    max: m.max,
-                    mean: if m.count > 0 {
-                        m.sum / m.count as f64
-                    } else {
-                        0.0
-                    },
+                    count: m.sketch.count(),
+                    sum: m.sketch.sum(),
+                    min: m.sketch.min(),
+                    max: m.sketch.max(),
+                    mean: m.sketch.mean(),
+                    p50: m.sketch.percentile(50.0),
+                    p95: m.sketch.percentile(95.0),
+                    p99: m.sketch.percentile(99.0),
                     samples: m.timeline.samples().to_vec(),
                 }
             })
             .collect();
         MetricsReport { metrics }
     }
-}
-
-/// Log2 bucket for a (non-negative) observation.
-fn bucket_index(value: f64) -> usize {
-    let v = value.max(0.0) as u64;
-    (64 - v.max(1).leading_zeros()) as usize
 }
 
 /// One metric's exported state: identity, aggregates and its sampled
@@ -223,6 +203,13 @@ pub struct MetricSummary {
     pub max: f64,
     /// Mean histogram observation (0 when none).
     pub mean: f64,
+    /// Median histogram observation (`None` for counters/gauges or
+    /// when no observation landed).
+    pub p50: Option<f64>,
+    /// 95th-percentile histogram observation.
+    pub p95: Option<f64>,
+    /// 99th-percentile histogram observation.
+    pub p99: Option<f64>,
     /// Periodic snapshots of the metric level.
     pub samples: Vec<(SimTime, f64)>,
 }
@@ -276,6 +263,10 @@ mod tests {
         assert_eq!(h.min, 100.0);
         assert_eq!(h.max, 300.0);
         assert_eq!(h.mean, 200.0);
+        // Sketch-backed quantiles: within 1 % of the exact samples.
+        assert!((h.p50.unwrap() / 100.0 - 1.0).abs() < 0.01);
+        assert!((h.p99.unwrap() / 300.0 - 1.0).abs() < 0.01);
+        assert_eq!(report.get("io.dispatched").unwrap().p95, None);
     }
 
     #[test]
@@ -287,10 +278,16 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_is_log2() {
-        assert_eq!(bucket_index(0.0), 1);
-        assert_eq!(bucket_index(1.0), 1);
-        assert_eq!(bucket_index(2.0), 2);
-        assert_eq!(bucket_index(1024.0), 11);
+    fn histogram_sketches_merge_across_registries() {
+        let mut a = MetricsRegistry::new(Duration::from_secs(1));
+        let mut b = MetricsRegistry::new(Duration::from_secs(1));
+        let ha = a.histogram("sim.response_us");
+        let hb = b.histogram("sim.response_us");
+        a.observe(ha, 10.0);
+        b.observe(hb, 1000.0);
+        let mut fleet = a.sketch(ha).clone();
+        fleet.merge(b.sketch(hb));
+        assert_eq!(fleet.count(), 2);
+        assert_eq!(fleet.max(), 1000.0);
     }
 }

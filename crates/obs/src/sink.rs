@@ -219,4 +219,41 @@ mod tests {
         let _ = s.drain();
         assert!(s.dropped_by_kind().is_empty());
     }
+
+    #[test]
+    fn mixed_kind_overflow_accounts_every_drop_exactly() {
+        use std::collections::BTreeMap;
+        let mut s = RingSink::new(7);
+        // 100 events cycling through three kinds, far past capacity.
+        let mut emitted: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for i in 0..100u64 {
+            let event = match i % 3 {
+                0 => SimEvent::IoTimeout { io: i },
+                1 => SimEvent::IoLost { io: i },
+                _ => SimEvent::TraceEnded,
+            };
+            *emitted.entry(event.kind_name()).or_default() += 1;
+            s.record(SimTime::from_micros(i), event);
+        }
+        assert_eq!(s.recorded(), 100);
+        assert_eq!(s.dropped(), 93);
+        assert_eq!(
+            s.dropped_by_kind().values().sum::<u64>(),
+            s.dropped(),
+            "per-kind drops must sum to the aggregate"
+        );
+        // Retained + dropped reconstructs the true per-kind emission
+        // counts exactly.
+        let by_kind = s.dropped_by_kind().clone();
+        let drained = s.drain();
+        let mut reconstructed = by_kind;
+        for t in &drained {
+            *reconstructed.entry(t.event.kind_name()).or_default() += 1;
+        }
+        assert_eq!(reconstructed, emitted);
+        // Overwrite-oldest: exactly the newest `capacity` events
+        // survive, still in emission order.
+        let times: Vec<u64> = drained.iter().map(|t| t.at.as_micros()).collect();
+        assert_eq!(times, (93..100).collect::<Vec<_>>());
+    }
 }

@@ -18,8 +18,8 @@
 //! totals across requests into per-phase latency histograms — the data
 //! behind the `span_report` attribution table.
 
+use crate::sketch::QuantileSketch;
 use rolo_disk::{DiskId, ServiceBreakdown};
-use rolo_metrics::LatencyHistogram;
 use rolo_sim::{Duration, SimTime};
 use rolo_trace::ReqKind;
 use serde::Serialize;
@@ -380,11 +380,15 @@ impl SpanCollector {
     }
 
     /// Closes the span of user request `id` at its completion instant
-    /// and moves it to the finished list.
-    pub fn close_request(&mut self, id: u64, at: SimTime) {
+    /// and moves it to the finished list, returning a view of the
+    /// finished span (e.g. for online per-phase telemetry).
+    pub fn close_request(&mut self, id: u64, at: SimTime) -> Option<&RequestSpan> {
         if let Some(mut span) = self.open.remove(&id) {
             span.end = at;
             self.finished.push(span);
+            self.finished.last()
+        } else {
+            None
         }
     }
 
@@ -505,9 +509,10 @@ pub fn critical_path(span: &RequestSpan) -> PathAttribution {
 
 /// Aggregated critical-path statistics over a set of request spans.
 ///
-/// Keeps, per phase, the summed attributed time and a latency histogram
-/// of per-request phase totals (only requests where the phase appears),
-/// plus a histogram of whole-span durations.
+/// Keeps, per phase, the summed attributed time and a mergeable
+/// quantile sketch of per-request phase totals (only requests where the
+/// phase appears), plus a sketch of whole-span durations — all in
+/// microseconds, at ≤ 1 % relative error ([`QuantileSketch`]).
 #[derive(Debug, Clone)]
 pub struct PhaseStats {
     /// Requests observed.
@@ -518,10 +523,10 @@ pub struct PhaseStats {
     pub unattributed_us: u64,
     /// Summed per-phase attributed time (µs), by [`Phase::index`].
     pub phase_us: [u64; NUM_PHASES],
-    /// Per-phase histograms of per-request phase totals.
-    pub phase_hist: Vec<LatencyHistogram>,
-    /// Histogram of whole-span durations.
-    pub span_hist: LatencyHistogram,
+    /// Per-phase sketches of per-request phase totals (µs).
+    pub phase_hist: Vec<QuantileSketch>,
+    /// Sketch of whole-span durations (µs).
+    pub span_hist: QuantileSketch,
 }
 
 impl Default for PhaseStats {
@@ -531,8 +536,8 @@ impl Default for PhaseStats {
             total_us: 0,
             unattributed_us: 0,
             phase_us: [0; NUM_PHASES],
-            phase_hist: vec![LatencyHistogram::new(); NUM_PHASES],
-            span_hist: LatencyHistogram::new(),
+            phase_hist: vec![QuantileSketch::new(); NUM_PHASES],
+            span_hist: QuantileSketch::new(),
         }
     }
 }
@@ -547,10 +552,25 @@ impl PhaseStats {
         for (i, &us) in path.phase_us.iter().enumerate() {
             self.phase_us[i] += us;
             if us > 0 {
-                self.phase_hist[i].record(Duration::from_micros(us));
+                self.phase_hist[i].record(us as f64);
             }
         }
-        self.span_hist.record(span.duration());
+        self.span_hist.record(span.duration().as_micros() as f64);
+    }
+
+    /// Merges another aggregate into this one (fleet rollups across
+    /// shards or schemes); all underlying sketches merge losslessly.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.requests += other.requests;
+        self.total_us += other.total_us;
+        self.unattributed_us += other.unattributed_us;
+        for (i, &us) in other.phase_us.iter().enumerate() {
+            self.phase_us[i] += us;
+        }
+        for (a, b) in self.phase_hist.iter_mut().zip(&other.phase_hist) {
+            a.merge(b);
+        }
+        self.span_hist.merge(&other.span_hist);
     }
 
     /// Fraction of summed response time attributed to typed phases
@@ -593,9 +613,9 @@ impl PhaseStats {
                 ms(self.total_us) / self.requests as f64
             },
             attributed_fraction: self.attributed_fraction(),
-            p50_ms: self.span_hist.percentile(50.0).map(|d| d.as_millis_f64()),
-            p95_ms: self.span_hist.percentile(95.0).map(|d| d.as_millis_f64()),
-            p99_ms: self.span_hist.percentile(99.0).map(|d| d.as_millis_f64()),
+            p50_ms: self.span_hist.percentile(50.0).map(|us| us / 1e3),
+            p95_ms: self.span_hist.percentile(95.0).map(|us| us / 1e3),
+            p99_ms: self.span_hist.percentile(99.0).map(|us| us / 1e3),
             phases: Phase::ALL
                 .iter()
                 .map(|&p| {
@@ -608,9 +628,7 @@ impl PhaseStats {
                         } else {
                             ms(self.phase_us[i]) / self.requests as f64
                         },
-                        p95_ms: self.phase_hist[i]
-                            .percentile(95.0)
-                            .map(|d| d.as_millis_f64()),
+                        p95_ms: self.phase_hist[i].percentile(95.0).map(|us| us / 1e3),
                     }
                 })
                 .collect(),
