@@ -3,10 +3,11 @@
 //! throughput (a simulated week must stay in the seconds range).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rolo_core::ctx::WakeKind;
 use rolo_core::logspace::LoggerSpace;
-use rolo_core::{dirty::DirtyMap, Scheme, SimConfig};
-use rolo_disk::{DiskParams, ServiceModel};
-use rolo_sim::{Duration, EventQueue, SimRng, SimTime};
+use rolo_core::{dirty::DirtyMap, Scheme, SimConfig, SimCtx};
+use rolo_disk::{DiskParams, IoKind, Priority, ServiceModel};
+use rolo_sim::{CalendarQueue, Duration, EventQueue, SimRng, SimTime};
 use rolo_trace::SyntheticConfig;
 
 fn bench_service_model(c: &mut Criterion) {
@@ -43,6 +44,76 @@ fn bench_event_queue(c: &mut Criterion) {
                     q.schedule(SimTime::from_micros(rng.below(1_000_000)), i);
                 }
                 while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("calendar_queue_schedule_pop_1k", |b| {
+        let mut rng = SimRng::seed_from(4);
+        b.iter_batched(
+            CalendarQueue::<u32>::new,
+            |mut q| {
+                for i in 0..1000u32 {
+                    q.schedule(SimTime::from_micros(rng.below(1_000_000)), i);
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Steady-state churn: the event-loop shape — pop one, schedule a
+    // near-future follow-up — where the calendar's O(1) bucket insert
+    // pays off over the heap's log n.
+    c.bench_function("calendar_queue_churn_16k", |b| {
+        let mut rng = SimRng::seed_from(14);
+        b.iter_batched(
+            || {
+                let mut warm = SimRng::seed_from(15);
+                let mut q = CalendarQueue::<u32>::new();
+                for i in 0..64u32 {
+                    q.schedule(SimTime::from_micros(warm.below(10_000)), i);
+                }
+                q
+            },
+            |mut q| {
+                for i in 0..16_384u32 {
+                    let ev = q.pop().expect("queue stays warm");
+                    q.schedule(ev.time + Duration::from_micros(1 + rng.below(8_000)), i);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The submit → wake → deliver dispatch cycle through `SimCtx`, the
+/// per-I/O path under every controller: slab registration, service-time
+/// sampling, wake scheduling, and completion classification.
+fn bench_dispatch(c: &mut Criterion) {
+    c.bench_function("ctx_dispatch_cycle_1k", |b| {
+        let cfg = SimConfig::paper_default(Scheme::Raid10, 4);
+        let geo = cfg.geometry().expect("valid paper default");
+        let standby = vec![false; cfg.disk_count()];
+        b.iter_batched(
+            || SimCtx::new(&cfg, geo.clone(), &standby),
+            |mut ctx| {
+                let disks = ctx.disk_count();
+                let mut wakes = Vec::new();
+                for i in 0..1000u64 {
+                    let d = (i as usize) % disks;
+                    ctx.submit(
+                        d,
+                        IoKind::Write,
+                        (i % 512) * 4096,
+                        4096,
+                        Priority::Foreground,
+                    );
+                    ctx.drain_wakes_into(&mut wakes);
+                    for (disk, wake) in wakes.drain(..) {
+                        ctx.now = wake.due();
+                        std::hint::black_box(ctx.deliver_wake(disk, WakeKind::Io));
+                    }
+                }
             },
             BatchSize::SmallInput,
         );
@@ -106,6 +177,7 @@ criterion_group!(
     benches,
     bench_service_model,
     bench_event_queue,
+    bench_dispatch,
     bench_logspace,
     bench_dirty_map,
     bench_end_to_end

@@ -141,6 +141,18 @@ pub fn mj(j: f64) -> String {
     format!("{:.2} MJ", j / 1e6)
 }
 
+/// FNV-1a (64-bit) digest of `bytes` as fixed-width hex — the digest
+/// the golden engine-equivalence fixtures commit instead of multi-MB
+/// `deterministic_json` bodies.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 /// Compact summary row used by several binaries.
 #[derive(Debug, Clone, Serialize)]
 pub struct SchemeRow {

@@ -8,6 +8,7 @@
 use crate::config::SimConfig;
 use crate::faults::{surviving_partner, FaultMetrics, FaultPlan};
 use crate::recovery::RecoveryPlan;
+use crate::slot::{IoSlab, IoSlot};
 use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutcome, Priority};
 use rolo_disk::{DiskEnergyReport, IntegrityMap, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
@@ -18,7 +19,7 @@ use rolo_obs::{
     WindowObservation,
 };
 use rolo_raid::ArrayGeometry;
-use rolo_sim::{Duration, SimRng, SimTime};
+use rolo_sim::{Duration, IoMap, SimRng, SimTime};
 use rolo_trace::ReqKind;
 use std::collections::HashMap;
 
@@ -86,7 +87,7 @@ struct RebuildState {
     issued: u64,
     written: u64,
     started: SimTime,
-    inflight: HashMap<u64, (RebuildPhase, u64, u64)>,
+    inflight: IoMap<(RebuildPhase, u64, u64)>,
 }
 
 /// Outcome of the final sub-request of a user request.
@@ -100,6 +101,10 @@ pub struct CompletedUser {
 
 #[derive(Debug)]
 struct Outstanding {
+    /// The externally-visible user request id: it appears in trace
+    /// events and spans, so it is stored here (stable) rather than
+    /// derived from the slab slot (recycled).
+    user_id: u64,
     kind: ReqKind,
     arrival: SimTime,
     subs_left: u32,
@@ -114,8 +119,20 @@ pub struct SimCtx {
     disks: Vec<Disk>,
     pending_wakes: Vec<(DiskId, DiskWake)>,
     pending_timers: Vec<(SimTime, u64)>,
-    outstanding: HashMap<u64, Outstanding>,
+    /// In-flight user requests, slab-allocated: completion is one
+    /// indexed access via the controller-held [`IoSlot`], not a hash
+    /// probe per sub-request.
+    outstanding: IoSlab<Outstanding>,
     next_io_id: u64,
+    /// SoA mirror of each disk's power state, updated at the two points
+    /// a disk's state can change ([`SimCtx::note_disk_state`] and
+    /// [`SimCtx::fail_disk`]). Keeps the power-sampling hot path off the
+    /// pointer-chasing `Disk` structs.
+    power_soa: Vec<PowerState>,
+    /// SoA instantaneous draw (W) per disk, cached alongside
+    /// `power_soa` — power is a pure function of the state, so the two
+    /// are maintained together and `total_power_w` is a contiguous sum.
+    watts_soa: Vec<f64>,
     /// Response-time statistics over all user requests.
     pub responses: ResponseStats,
     /// Response-time statistics over reads only.
@@ -147,9 +164,9 @@ pub struct SimCtx {
     degraded: HashMap<DiskId, SimTime>,
     degraded_since: Option<SimTime>,
     first_failure_at: Option<SimTime>,
-    retries: HashMap<u64, u32>,
+    retries: IoMap<u32>,
     rebuilds: HashMap<DiskId, RebuildState>,
-    rebuild_ios: HashMap<u64, DiskId>,
+    rebuild_ios: IoMap<DiskId>,
     finished_rebuilds: Vec<DiskId>,
     /// Energy history of dead disks, merged into the slot's live report
     /// so array totals conserve energy across replacements.
@@ -193,7 +210,7 @@ pub struct SimCtx {
     /// Per-disk scrub progress.
     scrub_state: Vec<ScrubDiskState>,
     /// In-flight scrub sub-requests: io id → (disk, phase, offset, bytes).
-    scrub_ios: HashMap<u64, (DiskId, ScrubPhase, u64, u64)>,
+    scrub_ios: IoMap<(DiskId, ScrubPhase, u64, u64)>,
     /// Open scrub span ids, keyed by the disk being scrubbed.
     scrub_spans: HashMap<DiskId, u64>,
     /// Online telemetry hub + SLO monitor, present only when
@@ -312,14 +329,19 @@ impl SimCtx {
             }
         });
         let trace_on = sink.enabled();
+        let disks: Vec<Disk> = disks;
+        let power_soa: Vec<PowerState> = disks.iter().map(|d| d.power_state()).collect();
+        let watts_soa: Vec<f64> = disks.iter().map(|d| d.current_power_w()).collect();
         SimCtx {
             now: SimTime::ZERO,
             geometry,
             disks,
             pending_wakes: Vec::new(),
             pending_timers: Vec::new(),
-            outstanding: HashMap::new(),
+            outstanding: IoSlab::with_capacity(256),
             next_io_id: 1,
+            power_soa,
+            watts_soa,
             responses: ResponseStats::new(),
             read_responses: ResponseStats::new(),
             write_responses: ResponseStats::new(),
@@ -338,9 +360,9 @@ impl SimCtx {
             degraded: HashMap::new(),
             degraded_since: None,
             first_failure_at: None,
-            retries: HashMap::new(),
+            retries: IoMap::default(),
             rebuilds: HashMap::new(),
-            rebuild_ios: HashMap::new(),
+            rebuild_ios: IoMap::default(),
             finished_rebuilds: Vec::new(),
             retired: HashMap::new(),
             tracer: sink,
@@ -357,7 +379,7 @@ impl SimCtx {
             scrub_enabled: cfg.scrub_enabled,
             scrub_chunk: cfg.scrub_chunk,
             scrub_state: vec![ScrubDiskState::default(); disk_count],
-            scrub_ios: HashMap::new(),
+            scrub_ios: IoMap::default(),
             scrub_spans: HashMap::new(),
             telemetry,
             slo_alerts: Vec::new(),
@@ -590,10 +612,14 @@ impl SimCtx {
     }
 
     /// Bumps the transition counter and emits [`SimEvent::DiskState`]
-    /// when `disk` has left the power state captured in `before`.
+    /// when `disk` has left the power state captured in `before`. Also
+    /// the maintenance point of the SoA power cache: every context
+    /// method that can change a disk's state funnels through here.
     fn note_disk_state(&mut self, disk: DiskId, before: PowerState) {
         let after = self.disks[disk].power_state();
         if after != before {
+            self.power_soa[disk] = after;
+            self.watts_soa[disk] = self.disks[disk].current_power_w();
             self.metrics.inc(self.mids.disk_transitions, 1);
             if let Some(tel) = &mut self.telemetry {
                 tel.hub.add(tel.disk_transitions[disk], 1.0);
@@ -707,13 +733,48 @@ impl SimCtx {
     }
 
     /// Driver hook: drains wakes accumulated since the last call.
+    ///
+    /// Allocates a fresh `Vec` per call; the driver's hot loop uses
+    /// [`SimCtx::drain_wakes_into`] instead and this stays for tests and
+    /// offline tooling.
     pub fn take_wakes(&mut self) -> Vec<(DiskId, DiskWake)> {
         std::mem::take(&mut self.pending_wakes)
     }
 
     /// Driver hook: drains pending timers.
+    ///
+    /// Allocates a fresh `Vec` per call; the driver's hot loop uses
+    /// [`SimCtx::drain_timers_into`] instead and this stays for tests
+    /// and offline tooling.
     pub fn take_timers(&mut self) -> Vec<(SimTime, u64)> {
         std::mem::take(&mut self.pending_timers)
+    }
+
+    /// True when at least one wake or timer is pending — lets the driver
+    /// skip its drain machinery entirely on the (common) quiet steps.
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        !self.pending_wakes.is_empty() || !self.pending_timers.is_empty()
+    }
+
+    /// Allocation-free variant of [`SimCtx::take_wakes`]: swaps the
+    /// pending wakes into `out` (which must be empty), leaving the
+    /// context holding `out`'s spare capacity. Driving the drain loop
+    /// with one reused scratch vector means zero per-step allocations
+    /// once the vectors warm up; the order of drained entries is
+    /// identical to `take_wakes`.
+    #[inline]
+    pub fn drain_wakes_into(&mut self, out: &mut Vec<(DiskId, DiskWake)>) {
+        debug_assert!(out.is_empty(), "drain scratch must be drained first");
+        std::mem::swap(&mut self.pending_wakes, out);
+    }
+
+    /// Allocation-free variant of [`SimCtx::take_timers`]; see
+    /// [`SimCtx::drain_wakes_into`].
+    #[inline]
+    pub fn drain_timers_into(&mut self, out: &mut Vec<(SimTime, u64)>) {
+        debug_assert!(out.is_empty(), "drain scratch must be drained first");
+        std::mem::swap(&mut self.pending_timers, out);
     }
 
     /// Driver hook: delivers a disk wake back to the disk, pushing any
@@ -759,55 +820,65 @@ impl SimCtx {
         completed
     }
 
-    /// Registers a user request with `subs` outstanding sub-requests.
+    /// Registers a user request with `subs` outstanding sub-requests,
+    /// returning the slab slot the controller hands back to
+    /// [`SimCtx::user_sub_done`] on every sub-completion. The `user_id`
+    /// stays the externally-visible identity (traces, spans); the slot
+    /// is a recycled internal handle.
     ///
     /// # Panics
     ///
-    /// Panics if `subs` is zero or the id is already registered.
-    pub fn register_user(&mut self, user_id: u64, kind: ReqKind, arrival: SimTime, subs: u32) {
+    /// Panics if `subs` is zero.
+    pub fn register_user(
+        &mut self,
+        user_id: u64,
+        kind: ReqKind,
+        arrival: SimTime,
+        subs: u32,
+    ) -> IoSlot {
         assert!(subs > 0, "user request with zero sub-requests");
-        let prev = self.outstanding.insert(
+        let slot = self.outstanding.insert(Outstanding {
             user_id,
-            Outstanding {
-                kind,
-                arrival,
-                subs_left: subs,
-            },
-        );
-        assert!(prev.is_none(), "duplicate user request id {user_id}");
+            kind,
+            arrival,
+            subs_left: subs,
+        });
         if let Some(s) = &mut self.spans {
             s.open_request(user_id, kind, arrival);
         }
+        slot
     }
 
     /// Adds more pending sub-requests to an in-flight user request.
     ///
     /// # Panics
     ///
-    /// Panics if the request is unknown.
-    pub fn add_user_subs(&mut self, user_id: u64, subs: u32) {
+    /// Panics if the slot is stale (request already completed).
+    pub fn add_user_subs(&mut self, slot: IoSlot, subs: u32) {
         self.outstanding
-            .get_mut(&user_id)
-            .unwrap_or_else(|| panic!("unknown user request {user_id}"))
+            .get_mut(slot)
+            .unwrap_or_else(|| panic!("unknown user request slot {slot:?}"))
             .subs_left += subs;
     }
 
-    /// Marks one sub-request of `user_id` complete. When the last one
-    /// lands, records the response time and returns the completion.
+    /// Marks one sub-request of the user request at `slot` complete.
+    /// When the last one lands, records the response time and returns
+    /// the completion.
     ///
     /// # Panics
     ///
-    /// Panics if the request is unknown.
-    pub fn user_sub_done(&mut self, user_id: u64) -> Option<CompletedUser> {
+    /// Panics if the slot is stale (request already completed).
+    pub fn user_sub_done(&mut self, slot: IoSlot) -> Option<CompletedUser> {
         let o = self
             .outstanding
-            .get_mut(&user_id)
-            .unwrap_or_else(|| panic!("unknown user request {user_id}"));
+            .get_mut(slot)
+            .unwrap_or_else(|| panic!("unknown user request slot {slot:?}"));
         o.subs_left -= 1;
         if o.subs_left > 0 {
             return None;
         }
-        let o = self.outstanding.remove(&user_id).expect("present");
+        let o = self.outstanding.remove(slot).expect("present");
+        let user_id = o.user_id;
         let mut phase_us: Option<[u64; NUM_PHASES]> = None;
         if let Some(s) = &mut self.spans {
             if let Some(span) = s.close_request(user_id, self.now) {
@@ -871,9 +942,24 @@ impl SimCtx {
             .collect()
     }
 
-    /// Instantaneous aggregate power draw of the array (W).
+    /// Instantaneous aggregate power draw of the array (W): a contiguous
+    /// sum over the SoA watts cache, not a walk over the disk structs.
     pub fn total_power_w(&self) -> f64 {
-        self.disks.iter().map(|d| d.current_power_w()).sum()
+        let total: f64 = self.watts_soa.iter().sum();
+        debug_assert_eq!(
+            total,
+            self.disks.iter().map(|d| d.current_power_w()).sum::<f64>(),
+            "SoA power cache out of sync with disk states"
+        );
+        total
+    }
+
+    /// Cached power state of `disk` (same value as
+    /// `self.disk(disk).power_state()`, without touching the disk
+    /// struct).
+    #[inline]
+    pub fn power_state_of(&self, disk: DiskId) -> PowerState {
+        self.power_soa[disk]
     }
 
     /// Total array energy (J) as of `now`, including dead disks' history.
@@ -962,6 +1048,8 @@ impl SimCtx {
         // in post-failure attribution).
         spare.set_record_breakdown(self.spans.is_some());
         self.disks[disk] = spare;
+        self.power_soa[disk] = self.disks[disk].power_state();
+        self.watts_soa[disk] = self.disks[disk].current_power_w();
         self.degraded.insert(disk, self.now);
         let epoch = u64::from(self.epochs[disk]);
         self.emit(|| SimEvent::DiskFailed { disk, epoch });
@@ -1051,7 +1139,9 @@ impl SimCtx {
             self.emit(|| SimEvent::MediaError { io });
             return IoOutcome::MediaError;
         }
-        self.retries.remove(&req.id);
+        if !self.retries.is_empty() {
+            self.retries.remove(&req.id);
+        }
         IoOutcome::Ok
     }
 
@@ -1315,8 +1405,9 @@ impl SimCtx {
 
     /// True if request `id` belongs to the scrub engine. The driver
     /// checks this before classifying a completion as policy I/O.
+    #[inline]
     pub fn is_scrub_io(&self, id: u64) -> bool {
-        self.scrub_ios.contains_key(&id)
+        !self.scrub_ios.is_empty() && self.scrub_ios.contains_key(&id)
     }
 
     /// Completes one scrub transfer. A verify read checks the chunk
@@ -1464,7 +1555,7 @@ impl SimCtx {
                 issued: 0,
                 written: 0,
                 started,
-                inflight: HashMap::new(),
+                inflight: IoMap::default(),
             },
         );
         for _ in 0..REBUILD_WINDOW {
@@ -1474,8 +1565,9 @@ impl SimCtx {
 
     /// True if sub-request `id` belongs to the rebuild engine rather
     /// than the policy.
+    #[inline]
     pub fn is_rebuild_io(&self, id: u64) -> bool {
-        self.rebuild_ios.contains_key(&id)
+        !self.rebuild_ios.is_empty() && self.rebuild_ios.contains_key(&id)
     }
 
     /// Advances the rebuild owning the completed request: a finished
@@ -1628,10 +1720,10 @@ mod tests {
     #[test]
     fn user_tracking_counts_subs() {
         let mut c = ctx();
-        c.register_user(7, ReqKind::Write, SimTime::ZERO, 2);
+        let slot = c.register_user(7, ReqKind::Write, SimTime::ZERO, 2);
         c.now = SimTime::from_millis(5);
-        assert!(c.user_sub_done(7).is_none());
-        let done = c.user_sub_done(7).unwrap();
+        assert!(c.user_sub_done(slot).is_none());
+        let done = c.user_sub_done(slot).unwrap();
         assert_eq!(done.kind, ReqKind::Write);
         assert_eq!(done.response, Duration::from_millis(5));
         assert_eq!(c.responses.count(), 1);
@@ -1643,18 +1735,22 @@ mod tests {
     #[test]
     fn add_user_subs_extends() {
         let mut c = ctx();
-        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
-        c.add_user_subs(1, 1);
-        assert!(c.user_sub_done(1).is_none());
-        assert!(c.user_sub_done(1).is_some());
+        let slot = c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+        c.add_user_subs(slot, 1);
+        assert!(c.user_sub_done(slot).is_none());
+        assert!(c.user_sub_done(slot).is_some());
     }
 
     #[test]
-    #[should_panic(expected = "duplicate user request id")]
-    fn duplicate_user_rejected() {
+    #[should_panic(expected = "unknown user request slot")]
+    fn stale_slot_rejected() {
         let mut c = ctx();
-        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
-        c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+        let slot = c.register_user(1, ReqKind::Read, SimTime::ZERO, 1);
+        assert!(c.user_sub_done(slot).is_some());
+        // A second registration may recycle the slab index; the stale
+        // handle's generation keeps it from aliasing the new request.
+        let _other = c.register_user(2, ReqKind::Read, SimTime::ZERO, 1);
+        c.user_sub_done(slot);
     }
 
     #[test]
@@ -1804,5 +1900,49 @@ mod tests {
         assert_eq!(c.faults.scrub_passes, 4, "every disk completed a pass");
         c.finalize_faults();
         assert!(c.faults.lse_conserved(), "{:?}", c.faults);
+    }
+
+    proptest::proptest! {
+        /// Drain-in-place regression: for any interleaving of submits
+        /// and timers, `drain_wakes_into`/`drain_timers_into` must hand
+        /// the driver exactly the sequences `take_wakes`/`take_timers`
+        /// did before the rewrite — same elements, same order.
+        #[test]
+        fn prop_drain_into_matches_take(
+            ops in proptest::collection::vec((0usize..4, 0u64..3, 1u64..5000), 1..40),
+        ) {
+            let mut a = ctx();
+            let mut b = ctx();
+            let mut wakes = Vec::new();
+            let mut timers = Vec::new();
+            for (i, &(disk4, kind, arg)) in ops.iter().enumerate() {
+                for c in [&mut a, &mut b] {
+                    let disk = disk4 % c.disk_count();
+                    match kind {
+                        0 => {
+                            c.submit(disk, IoKind::Write, arg * 4096, 4096, Priority::Foreground);
+                        }
+                        1 => {
+                            c.submit(disk, IoKind::Read, arg * 4096, 4096, Priority::Background);
+                        }
+                        _ => c.set_timer(Duration::from_micros(arg), i as u64),
+                    }
+                }
+                proptest::prop_assert_eq!(a.has_pending(), b.has_pending());
+                a.drain_wakes_into(&mut wakes);
+                a.drain_timers_into(&mut timers);
+                let tw = b.take_wakes();
+                let tt = b.take_timers();
+                proptest::prop_assert_eq!(wakes.len(), tw.len());
+                for (x, y) in wakes.iter().zip(tw.iter()) {
+                    proptest::prop_assert_eq!(x.0, y.0);
+                    proptest::prop_assert_eq!(x.1.due(), y.1.due());
+                }
+                proptest::prop_assert_eq!(&timers, &tt);
+                wakes.clear();
+                timers.clear();
+            }
+            proptest::prop_assert!(!a.has_pending() && !b.has_pending());
+        }
     }
 }

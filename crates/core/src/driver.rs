@@ -17,7 +17,7 @@ use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
 use rolo_obs::{NullSink, RunProfile, SimEvent, SloAlert, SpanSet, TelemetrySnapshot, TraceSink};
-use rolo_sim::{Duration, EventQueue, SimTime};
+use rolo_sim::{CalendarQueue, Duration, SimTime};
 use rolo_trace::TraceRecord;
 use std::time::Instant;
 
@@ -184,7 +184,13 @@ fn run_trace_inner<P: Policy>(
     if spans {
         ctx.enable_spans();
     }
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    // The production future-event list: a bucketed calendar queue with
+    // the same `(time, seq)` delivery contract as the legacy binary-heap
+    // `EventQueue` (differentially tested in `rolo-sim`). The two drain
+    // scratch vectors are reused across every step of the run, so the
+    // wake/timer hand-off allocates nothing once warmed up.
+    let mut queue: CalendarQueue<Event> = CalendarQueue::new();
+    let mut scratch = DrainScratch::default();
     let logical_capacity = ctx.geometry().logical_capacity();
 
     for d in 0..ctx.disk_count() {
@@ -193,7 +199,7 @@ fn run_trace_inner<P: Policy>(
     }
 
     policy.attach(&mut ctx);
-    drain_ctx(&mut ctx, &mut queue);
+    drain_ctx(&mut ctx, &mut queue, &mut scratch);
 
     let mut records = records.into_iter().peekable();
     let trace_end = SimTime::ZERO + duration;
@@ -251,7 +257,7 @@ fn run_trace_inner<P: Policy>(
                 policy.check_consistency(&ctx)
             );
             policy.begin_drain(&mut ctx);
-            drain_ctx(&mut ctx, &mut queue);
+            drain_ctx(&mut ctx, &mut queue, &mut scratch);
             if queue.is_empty() {
                 assert!(
                     policy.is_drained(&ctx),
@@ -415,7 +421,7 @@ fn run_trace_inner<P: Policy>(
         for slot in ctx.take_finished_rebuilds() {
             policy.on_rebuild_complete(&mut ctx, slot);
         }
-        drain_ctx(&mut ctx, &mut queue);
+        drain_ctx(&mut ctx, &mut queue, &mut scratch);
         if trace_done && snapshot.is_some() && queue.is_empty() && policy.is_drained(&ctx) {
             break;
         }
@@ -506,14 +512,21 @@ fn clamp_record(mut rec: TraceRecord, capacity: u64, align: u64) -> TraceRecord 
     rec
 }
 
-fn drain_ctx(ctx: &mut SimCtx, queue: &mut EventQueue<Event>) {
-    loop {
-        let wakes = ctx.take_wakes();
-        let timers = ctx.take_timers();
-        if wakes.is_empty() && timers.is_empty() {
-            break;
-        }
-        for (disk, wake) in wakes {
+/// Reusable scratch buffers for the wake/timer drain: swapped with the
+/// context's pending vectors each step instead of allocating fresh ones
+/// (the pre-rewrite `take_wakes`/`take_timers` pattern allocated two
+/// `Vec`s per delivered event).
+#[derive(Debug, Default)]
+struct DrainScratch {
+    wakes: Vec<(DiskId, DiskWake)>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+fn drain_ctx(ctx: &mut SimCtx, queue: &mut CalendarQueue<Event>, scratch: &mut DrainScratch) {
+    while ctx.has_pending() {
+        ctx.drain_wakes_into(&mut scratch.wakes);
+        ctx.drain_timers_into(&mut scratch.timers);
+        for (disk, wake) in scratch.wakes.drain(..) {
             let ep = ctx.epoch(disk);
             let ev = match wake {
                 DiskWake::Io(_) => Event::DiskIo(disk, ep),
@@ -523,7 +536,7 @@ fn drain_ctx(ctx: &mut SimCtx, queue: &mut EventQueue<Event>) {
             };
             queue.schedule(wake.due(), ev);
         }
-        for (due, token) in timers {
+        for (due, token) in scratch.timers.drain(..) {
             queue.schedule(due, Event::Timer(token));
         }
     }

@@ -19,12 +19,13 @@ use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use crate::segment::{replay_journals, LogManifest, SegmentStore};
+use crate::slot::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_obs::{LegFlavor, SimEvent};
-use rolo_sim::Duration;
+use rolo_sim::{Duration, IoMap};
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Default log-segment size (bytes) until the driver tunes it.
 const DEFAULT_SEG_BYTES: u64 = 4 << 20;
@@ -39,7 +40,7 @@ enum Mode {
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
-    User(u64),
+    User(u64, IoSlot),
     DestageRead { pair: usize, off: u64, len: u64 },
     DestageWrite { pair: usize, len: u64 },
 }
@@ -78,8 +79,8 @@ pub struct GraidPolicy {
     chain_active: Vec<bool>,
     mode: Mode,
     period: u64,
-    io_map: HashMap<u64, Tag>,
-    user_meta: HashMap<u64, UserMeta>,
+    io_map: IoMap<Tag>,
+    user_meta: IoMap<UserMeta>,
     logging_token: Option<u64>,
     destaging_token: Option<u64>,
     phase_energy_mark: f64,
@@ -118,8 +119,8 @@ impl GraidPolicy {
             chain_active: vec![false; pairs],
             mode: Mode::Logging,
             period: 0,
-            io_map: HashMap::new(),
-            user_meta: HashMap::new(),
+            io_map: IoMap::default(),
+            user_meta: IoMap::default(),
             logging_token: None,
             destaging_token: None,
             phase_energy_mark: 0.0,
@@ -378,6 +379,10 @@ impl Policy for GraidPolicy {
             .expect("driver keeps requests in range");
         let mut meta = UserMeta::default();
         let mut subs: u32 = 0;
+        // Admission hold: one sub reserved up front so the slab slot
+        // exists before the first sub-request can possibly complete;
+        // the balance is topped up below once `subs` is known.
+        let uslot = ctx.register_user(user_id, rec.kind, ctx.now, 1);
         match rec.kind {
             ReqKind::Read => {
                 for ext in &exts {
@@ -394,7 +399,7 @@ impl Policy for GraidPolicy {
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, flavor);
                     subs += 1;
                 }
@@ -410,7 +415,7 @@ impl Policy for GraidPolicy {
                         ext.bytes,
                         Priority::Foreground,
                     );
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 }
@@ -427,7 +432,7 @@ impl Policy for GraidPolicy {
                                     seg.bytes,
                                     Priority::Foreground,
                                 );
-                                self.io_map.insert(id, Tag::User(user_id));
+                                self.io_map.insert(id, Tag::User(user_id, uslot));
                                 ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
@@ -447,7 +452,7 @@ impl Policy for GraidPolicy {
                                 ext.bytes,
                                 Priority::Foreground,
                             );
-                            self.io_map.insert(id, Tag::User(user_id));
+                            self.io_map.insert(id, Tag::User(user_id, uslot));
                             ctx.tag_io(id, user_id, LegFlavor::MirrorCopy);
                             subs += 1;
                             meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -464,14 +469,17 @@ impl Policy for GraidPolicy {
                 }
             }
         }
-        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        debug_assert!(subs >= 1, "every admitted request issues at least one sub");
+        if subs > 1 {
+            ctx.add_user_subs(uslot, subs - 1);
+        }
         self.user_meta.insert(user_id, meta);
     }
 
     fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
         match self.io_map.remove(&req.id).expect("unknown sub-request") {
-            Tag::User(user) => {
-                if ctx.user_sub_done(user).is_some() {
+            Tag::User(user, uslot) => {
+                if ctx.user_sub_done(uslot).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
                     for (i, (pair, off, len)) in meta.marks.into_iter().enumerate() {
                         // The ack instant is the commit point: stamp the
@@ -518,7 +526,7 @@ impl Policy for GraidPolicy {
         // the normal completion path (the rebuild restores the
         // replacement's copy).
         if req.kind == IoKind::Read && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) {
-            if let Some(Tag::User(user)) = self.io_map.get(&req.id).copied() {
+            if let Some(Tag::User(user, uslot)) = self.io_map.get(&req.id).copied() {
                 if let Some(p) =
                     surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
                 {
@@ -527,7 +535,7 @@ impl Policy for GraidPolicy {
                     ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user));
+                    self.io_map.insert(id, Tag::User(user, uslot));
                     ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }

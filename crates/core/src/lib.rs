@@ -42,6 +42,7 @@ pub mod report;
 pub mod rolo;
 pub mod roloe;
 pub mod segment;
+pub mod slot;
 
 pub use config::{ConfigError, Scheme, SimConfig};
 pub use ctx::SimCtx;
@@ -66,3 +67,4 @@ pub use segment::{
     replay_journals, AppendOutcome, AppendRecord, ArchiveFrame, LogManifest, ReplayOutcome,
     Segment, SegmentState, SegmentStats, SegmentStore,
 };
+pub use slot::{IoSlab, IoSlot};

@@ -26,11 +26,11 @@ use crate::ctx::SimCtx;
 use crate::dirty::DirtyMap;
 use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
+use crate::slot::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
 use rolo_obs::LegFlavor;
-use rolo_sim::{Duration, SimTime};
+use rolo_sim::{Duration, IoMap, SimTime};
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Gear {
@@ -40,7 +40,7 @@ enum Gear {
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
-    User(u64),
+    User(u64, IoSlot),
     SyncRead { pair: usize, off: u64, len: u64 },
     SyncWrite { pair: usize, len: u64 },
 }
@@ -66,8 +66,8 @@ pub struct ParaidPolicy {
     chain_active: Vec<bool>,
     gear: Gear,
     syncing: bool,
-    io_map: HashMap<u64, Tag>,
-    user_meta: HashMap<u64, UserMeta>,
+    io_map: IoMap<Tag>,
+    user_meta: IoMap<UserMeta>,
     /// EWMA arrival rate (requests/s) and its last update instant.
     rate: f64,
     rate_at: SimTime,
@@ -115,8 +115,8 @@ impl ParaidPolicy {
             chain_active: vec![false; pairs],
             gear: Gear::Low,
             syncing: false,
-            io_map: HashMap::new(),
-            user_meta: HashMap::new(),
+            io_map: IoMap::default(),
+            user_meta: IoMap::default(),
             rate: 0.0,
             rate_at: SimTime::ZERO,
             up_iops,
@@ -235,6 +235,7 @@ impl ParaidPolicy {
         &mut self,
         ctx: &mut SimCtx,
         user_id: u64,
+        uslot: IoSlot,
         meta: &mut UserMeta,
         exts: &[rolo_raid::PhysExtent],
     ) -> u32 {
@@ -248,7 +249,7 @@ impl ParaidPolicy {
                 ext.bytes,
                 Priority::Foreground,
             );
-            self.io_map.insert(id, Tag::User(user_id));
+            self.io_map.insert(id, Tag::User(user_id, uslot));
             ctx.tag_io(id, user_id, LegFlavor::Transfer);
             subs += 1;
             // Shadow copy on the next primary over (never the same disk,
@@ -268,7 +269,7 @@ impl ParaidPolicy {
                             seg.bytes,
                             Priority::Foreground,
                         );
-                        self.io_map.insert(id, Tag::User(user_id));
+                        self.io_map.insert(id, Tag::User(user_id, uslot));
                         ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                         subs += 1;
                         self.stats.log_appended_bytes += seg.bytes;
@@ -287,7 +288,7 @@ impl ParaidPolicy {
                         ext.bytes,
                         Priority::Foreground,
                     );
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, LegFlavor::MirrorCopy);
                     subs += 1;
                     meta.clears.push((ext.pair, ext.offset, ext.bytes));
@@ -324,13 +325,17 @@ impl Policy for ParaidPolicy {
             .expect("driver keeps requests in range");
         let mut meta = UserMeta::default();
         let mut subs: u32 = 0;
+        // Admission hold: one sub reserved up front so the slab slot
+        // exists before the first sub-request can possibly complete;
+        // the balance is topped up below once `subs` is known.
+        let uslot = ctx.register_user(user_id, rec.kind, ctx.now, 1);
         match rec.kind {
             ReqKind::Read => {
                 for ext in &exts {
                     let p = ctx.geometry().primary_disk(ext.pair);
                     let id =
                         ctx.submit(p, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 }
@@ -357,7 +362,7 @@ impl Policy for ParaidPolicy {
                                 ext.bytes,
                                 Priority::Foreground,
                             );
-                            self.io_map.insert(id, Tag::User(user_id));
+                            self.io_map.insert(id, Tag::User(user_id, uslot));
                             let flavor = if d == p {
                                 LegFlavor::Transfer
                             } else {
@@ -368,20 +373,28 @@ impl Policy for ParaidPolicy {
                         }
                         meta.clears.push((ext.pair, ext.offset, ext.bytes));
                     } else {
-                        subs +=
-                            self.write_shadowed(ctx, user_id, &mut meta, std::slice::from_ref(ext));
+                        subs += self.write_shadowed(
+                            ctx,
+                            user_id,
+                            uslot,
+                            &mut meta,
+                            std::slice::from_ref(ext),
+                        );
                     }
                 }
             }
         }
-        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        debug_assert!(subs >= 1, "every admitted request issues at least one sub");
+        if subs > 1 {
+            ctx.add_user_subs(uslot, subs - 1);
+        }
         self.user_meta.insert(user_id, meta);
     }
 
     fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
         match self.io_map.remove(&req.id).expect("unknown sub-request") {
-            Tag::User(user) => {
-                if ctx.user_sub_done(user).is_some() {
+            Tag::User(user, uslot) => {
+                if ctx.user_sub_done(uslot).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
                     for (pair, off, len) in meta.marks {
                         self.dirty[pair].mark(off, len);

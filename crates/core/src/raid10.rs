@@ -13,16 +13,17 @@ use crate::ctx::SimCtx;
 use crate::faults::surviving_partner;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
+use crate::slot::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_obs::{LegFlavor, SimEvent};
+use rolo_sim::IoMap;
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
 
 /// The RAID10 baseline controller.
 #[derive(Debug, Default)]
 pub struct Raid10Policy {
-    /// sub-request id → user id.
-    io_map: HashMap<u64, u64>,
+    /// sub-request id → (user id, user slab slot).
+    io_map: IoMap<(u64, IoSlot)>,
 }
 
 impl Raid10Policy {
@@ -75,7 +76,7 @@ impl Policy for Raid10Policy {
             ReqKind::Write => exts.len() * 2,
             ReqKind::Read => exts.len(),
         };
-        ctx.register_user(user_id, rec.kind, ctx.now, subs as u32);
+        let slot = ctx.register_user(user_id, rec.kind, ctx.now, subs as u32);
         for ext in exts {
             match rec.kind {
                 ReqKind::Write => {
@@ -89,7 +90,7 @@ impl Policy for Raid10Policy {
                             ext.bytes,
                             Priority::Foreground,
                         );
-                        self.io_map.insert(id, user_id);
+                        self.io_map.insert(id, (user_id, slot));
                         let flavor = if d == p {
                             LegFlavor::Transfer
                         } else {
@@ -102,7 +103,7 @@ impl Policy for Raid10Policy {
                     let d = Self::read_target(ctx, ext.pair);
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
-                    self.io_map.insert(id, user_id);
+                    self.io_map.insert(id, (user_id, slot));
                     ctx.tag_io(id, user_id, LegFlavor::Transfer);
                 }
             }
@@ -110,11 +111,11 @@ impl Policy for Raid10Policy {
     }
 
     fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
-        let user = self
+        let (_, slot) = self
             .io_map
             .remove(&req.id)
             .expect("RAID10 issues only user sub-requests");
-        ctx.user_sub_done(user);
+        ctx.user_sub_done(slot);
     }
 
     fn on_io_error(
@@ -132,14 +133,14 @@ impl Policy for Raid10Policy {
             if let Some(p) =
                 surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
             {
-                let user = self
+                let (user, slot) = self
                     .io_map
                     .remove(&req.id)
                     .expect("RAID10 issues only user sub-requests");
                 ctx.note_redirect();
                 ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                 let id = ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
-                self.io_map.insert(id, user);
+                self.io_map.insert(id, (user, slot));
                 ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                 return;
             }

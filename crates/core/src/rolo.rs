@@ -36,12 +36,13 @@ use crate::logspace::LoggerSpace;
 use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use crate::segment::{replay_journals, LogManifest, SegmentStore};
+use crate::slot::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_obs::{LegFlavor, SimEvent};
-use rolo_sim::Duration;
+use rolo_sim::{Duration, IoMap};
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Minimum fraction of the logger region still free when the *next*
 /// on-duty logger is proactively spun up, so rotation never stalls a
@@ -73,7 +74,7 @@ pub enum RoloFlavor {
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
-    User(u64),
+    User(u64, IoSlot),
     DestageRead { pair: usize, off: u64, len: u64 },
     DestageWrite { pair: usize, len: u64 },
     CompactRead { gen: u64 },
@@ -179,8 +180,8 @@ pub struct RoloPolicy {
     destage_active: Vec<bool>,
     chain_active: Vec<bool>,
     destage_tokens: Vec<Option<u64>>,
-    io_map: HashMap<u64, Tag>,
-    user_meta: HashMap<u64, UserMeta>,
+    io_map: IoMap<Tag>,
+    user_meta: IoMap<UserMeta>,
     logging_token: Option<u64>,
     phase_energy_mark: f64,
     deactivated: bool,
@@ -248,8 +249,8 @@ impl RoloPolicy {
             destage_active: vec![false; pairs],
             chain_active: vec![false; pairs],
             destage_tokens: vec![None; pairs],
-            io_map: HashMap::new(),
-            user_meta: HashMap::new(),
+            io_map: IoMap::default(),
+            user_meta: IoMap::default(),
             logging_token: None,
             phase_energy_mark: 0.0,
             deactivated: false,
@@ -913,6 +914,7 @@ impl RoloPolicy {
         &mut self,
         ctx: &mut SimCtx,
         user_id: u64,
+        uslot: IoSlot,
         meta: &mut UserMeta,
         exts: &[rolo_raid::PhysExtent],
     ) -> u32 {
@@ -929,7 +931,7 @@ impl RoloPolicy {
                     ext.bytes,
                     Priority::Foreground,
                 );
-                self.io_map.insert(id, Tag::User(user_id));
+                self.io_map.insert(id, Tag::User(user_id, uslot));
                 let flavor = if d == p {
                     LegFlavor::Transfer
                 } else {
@@ -970,6 +972,11 @@ impl Policy for RoloPolicy {
             .expect("driver keeps requests in range");
         let mut meta = UserMeta::default();
         let mut subs: u32 = 0;
+        // Register up front (one admission hold) so the slab slot is in
+        // hand while sub-requests are tagged; topped up to the real
+        // count below. Nothing can complete inside this callback, so the
+        // hold is never released early.
+        let uslot = ctx.register_user(user_id, rec.kind, ctx.now, 1);
         match rec.kind {
             ReqKind::Read => {
                 // Primaries are always ACTIVE/IDLE in RoLo-P/R: no
@@ -987,13 +994,13 @@ impl Policy for RoloPolicy {
                     }
                     let id =
                         ctx.submit(d, IoKind::Read, ext.offset, ext.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, flavor);
                     subs += 1;
                 }
             }
             ReqKind::Write if self.deactivated => {
-                subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                subs += self.write_direct(ctx, user_id, uslot, &mut meta, &exts);
                 // A deactivated-mode write may unblock reactivation later;
                 // nothing to do now.
             }
@@ -1018,7 +1025,7 @@ impl Policy for RoloPolicy {
                             ext.bytes,
                             Priority::Foreground,
                         );
-                        self.io_map.insert(id, Tag::User(user_id));
+                        self.io_map.insert(id, Tag::User(user_id, uslot));
                         ctx.tag_io(id, user_id, LegFlavor::Transfer);
                         subs += 1;
                         meta.marks.push((ext.pair, ext.offset, ext.bytes));
@@ -1044,7 +1051,7 @@ impl Policy for RoloPolicy {
                                     seg.bytes,
                                     Priority::Foreground,
                                 );
-                                self.io_map.insert(id, Tag::User(user_id));
+                                self.io_map.insert(id, Tag::User(user_id, uslot));
                                 ctx.tag_io(id, user_id, LegFlavor::LogAppend);
                                 subs += 1;
                                 self.stats.log_appended_bytes += seg.bytes;
@@ -1078,18 +1085,21 @@ impl Policy for RoloPolicy {
                         ctx.spin_up(m);
                     }
                 } else {
-                    subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                    subs += self.write_direct(ctx, user_id, uslot, &mut meta, &exts);
                 }
             }
         }
-        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        debug_assert!(subs >= 1, "every admitted request issues at least one sub");
+        if subs > 1 {
+            ctx.add_user_subs(uslot, subs - 1);
+        }
         self.user_meta.insert(user_id, meta);
     }
 
     fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
         match self.io_map.remove(&req.id).expect("unknown sub-request") {
-            Tag::User(user) => {
-                if ctx.user_sub_done(user).is_some() {
+            Tag::User(user, uslot) => {
+                if ctx.user_sub_done(uslot).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
                     for (i, (pair, off, len)) in meta.marks.iter().copied().enumerate() {
                         // Commit the mark's journal records at the same
@@ -1144,7 +1154,7 @@ impl Policy for RoloPolicy {
         // through the normal path (the rebuild restores the replacement's
         // copy).
         if req.kind == IoKind::Read && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) {
-            if let Some(Tag::User(user)) = self.io_map.get(&req.id).copied() {
+            if let Some(Tag::User(user, uslot)) = self.io_map.get(&req.id).copied() {
                 if let Some(p) =
                     surviving_partner(ctx.geometry(), disk).filter(|&p| !ctx.is_degraded(p))
                 {
@@ -1153,7 +1163,7 @@ impl Policy for RoloPolicy {
                     ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user));
+                    self.io_map.insert(id, Tag::User(user, uslot));
                     ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }

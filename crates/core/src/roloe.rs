@@ -22,12 +22,13 @@ use crate::policy::{Policy, PolicyStats};
 use crate::recovery::recovery_plan;
 use crate::rolo::journal_append;
 use crate::segment::{replay_journals, LogManifest, SegmentStore};
+use crate::slot::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, IoOutcome, Priority};
 use rolo_metrics::Phase;
 use rolo_obs::{LegFlavor, SimEvent};
-use rolo_sim::Duration;
+use rolo_sim::{Duration, IoMap};
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Default log-segment size (bytes) until the driver tunes it.
 const DEFAULT_SEG_BYTES: u64 = 4 << 20;
@@ -42,7 +43,7 @@ enum Mode {
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
-    User(u64),
+    User(u64, IoSlot),
     CacheFill,
     DestageRead { pair: usize, off: u64, len: u64 },
     DestageWrite { pair: usize, len: u64 },
@@ -95,8 +96,8 @@ pub struct RoloEPolicy {
     /// Remaining destage writes of the in-flight chain per pair (0 = no
     /// chain).
     chain_writes: Vec<u8>,
-    io_map: HashMap<u64, Tag>,
-    user_meta: HashMap<u64, UserMeta>,
+    io_map: IoMap<Tag>,
+    user_meta: IoMap<UserMeta>,
     logging_token: Option<u64>,
     destaging_token: Option<u64>,
     phase_energy_mark: f64,
@@ -154,8 +155,8 @@ impl RoloEPolicy {
             cache: BlockCache::new((cache_bytes / stripe_unit) as usize),
             dirty: (0..pairs).map(|_| DirtyMap::new()).collect(),
             chain_writes: vec![0; pairs],
-            io_map: HashMap::new(),
-            user_meta: HashMap::new(),
+            io_map: IoMap::default(),
+            user_meta: IoMap::default(),
             logging_token: None,
             destaging_token: None,
             phase_energy_mark: 0.0,
@@ -474,6 +475,7 @@ impl RoloEPolicy {
         &mut self,
         ctx: &mut SimCtx,
         user_id: u64,
+        uslot: IoSlot,
         meta: &mut UserMeta,
         exts: &[rolo_raid::PhysExtent],
     ) -> u32 {
@@ -490,7 +492,7 @@ impl RoloEPolicy {
                     ext.bytes,
                     Priority::Foreground,
                 );
-                self.io_map.insert(id, Tag::User(user_id));
+                self.io_map.insert(id, Tag::User(user_id, uslot));
                 let flavor = if d == p {
                     LegFlavor::Transfer
                 } else {
@@ -531,6 +533,10 @@ impl Policy for RoloEPolicy {
             .expect("driver keeps requests in range");
         let mut meta = UserMeta::default();
         let mut subs: u32 = 0;
+        // Admission hold: one sub reserved up front so the slab slot
+        // exists before the first sub-request can possibly complete;
+        // the balance is topped up below once `subs` is known.
+        let uslot = ctx.register_user(user_id, rec.kind, ctx.now, 1);
         match rec.kind {
             ReqKind::Read if self.mode == Mode::Logging => {
                 let hit = self
@@ -544,7 +550,7 @@ impl Policy for RoloEPolicy {
                     let d = self.next_logger_disk(ctx);
                     let off = self.log_read_offset(rec.offset / self.stripe_unit, rec.bytes);
                     let id = ctx.submit(d, IoKind::Read, off, rec.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     ctx.tag_io(id, user_id, LegFlavor::Transfer);
                     subs += 1;
                 } else {
@@ -567,7 +573,7 @@ impl Policy for RoloEPolicy {
                             ext.bytes,
                             Priority::Foreground,
                         );
-                        self.io_map.insert(id, Tag::User(user_id));
+                        self.io_map.insert(id, Tag::User(user_id, uslot));
                         let flavor = if target == p {
                             LegFlavor::Transfer
                         } else {
@@ -598,7 +604,7 @@ impl Policy for RoloEPolicy {
                         ext.bytes,
                         Priority::Foreground,
                     );
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(user_id, uslot));
                     let flavor = if target == p {
                         LegFlavor::Transfer
                     } else {
@@ -613,7 +619,7 @@ impl Policy for RoloEPolicy {
                     // Log exhausted: destage must run; fall back to direct
                     // writes until space is reclaimed.
                     self.start_destage(ctx);
-                    subs += self.write_direct(ctx, user_id, &mut meta, &exts);
+                    subs += self.write_direct(ctx, user_id, uslot, &mut meta, &exts);
                 } else {
                     for ext in &exts {
                         let segs = self
@@ -636,7 +642,7 @@ impl Policy for RoloEPolicy {
                                     seg.bytes,
                                     Priority::Foreground,
                                 );
-                                self.io_map.insert(id, Tag::User(user_id));
+                                self.io_map.insert(id, Tag::User(user_id, uslot));
                                 // First copy is the log append proper;
                                 // the twin on the pair's other disk is
                                 // its mirror.
@@ -675,14 +681,17 @@ impl Policy for RoloEPolicy {
                 }
             }
         }
-        ctx.register_user(user_id, rec.kind, ctx.now, subs);
+        debug_assert!(subs >= 1, "every admitted request issues at least one sub");
+        if subs > 1 {
+            ctx.add_user_subs(uslot, subs - 1);
+        }
         self.user_meta.insert(user_id, meta);
     }
 
     fn on_io_complete(&mut self, ctx: &mut SimCtx, _disk: DiskId, req: DiskRequest) {
         match self.io_map.remove(&req.id).expect("unknown sub-request") {
-            Tag::User(user) => {
-                if ctx.user_sub_done(user).is_some() {
+            Tag::User(user, uslot) => {
+                if ctx.user_sub_done(uslot).is_some() {
                     let meta = self.user_meta.remove(&user).unwrap_or_default();
                     for (i, (pair, off, len)) in meta.marks.into_iter().enumerate() {
                         // The ack instant is the commit point: both
@@ -758,7 +767,7 @@ impl Policy for RoloEPolicy {
         outcome: IoOutcome,
     ) {
         match self.io_map.get(&req.id).copied() {
-            Some(Tag::User(user))
+            Some(Tag::User(user, uslot))
                 if req.kind == IoKind::Read
                     && (outcome == IoOutcome::MediaError || ctx.is_degraded(disk)) =>
             {
@@ -771,7 +780,7 @@ impl Policy for RoloEPolicy {
                     ctx.emit(|| SimEvent::ReadRedirected { from: disk, to: p });
                     let id =
                         ctx.submit(p, IoKind::Read, req.offset, req.bytes, Priority::Foreground);
-                    self.io_map.insert(id, Tag::User(user));
+                    self.io_map.insert(id, Tag::User(user, uslot));
                     ctx.tag_io(id, user, LegFlavor::DegradedRedirect);
                     return;
                 }

@@ -1,0 +1,219 @@
+//! Generational slab for in-flight request state.
+//!
+//! The hot path completes every user request through
+//! `SimCtx::user_sub_done`, which previously cost a `HashMap<u64, _>`
+//! probe per sub-request completion. [`IoSlab`] replaces that with a
+//! plain `Vec` indexed by a generational [`IoSlot`]: allocation pops a
+//! free-list entry (or grows the vec), lookup is one bounds-checked index
+//! plus a generation compare, and freeing pushes the index back with its
+//! generation bumped so stale handles can never alias a recycled slot.
+//!
+//! Slots are handles, not ids: the externally-visible `u64` user-request
+//! ids (which appear in traces, spans and checksummed baselines) are
+//! stored *inside* the slab entries and are completely unaffected by slot
+//! reuse. Controllers carry the slot alongside the id in their own
+//! per-request metadata.
+
+/// Generational handle into an [`IoSlab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IoSlot {
+    index: u32,
+    gen: u32,
+}
+
+impl IoSlot {
+    /// A handle that no live slab entry can ever match; useful as a
+    /// pre-registration placeholder.
+    pub const DANGLING: IoSlot = IoSlot {
+        index: u32::MAX,
+        gen: u32::MAX,
+    };
+
+    /// The raw slot index (diagnostics only — not stable across reuse).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    gen: u32,
+    /// `Some` while the slot is live, `None` while on the free list.
+    value: Option<T>,
+}
+
+/// A vec-backed slab with generational slot reuse.
+#[derive(Debug)]
+pub struct IoSlab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for IoSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> IoSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        IoSlab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Creates an empty slab with room for `cap` live entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        IoSlab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Inserts `value`, returning its slot.
+    pub fn insert(&mut self, value: T) -> IoSlot {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let e = &mut self.entries[index as usize];
+            debug_assert!(e.value.is_none());
+            e.value = Some(value);
+            IoSlot { index, gen: e.gen }
+        } else {
+            let index = u32::try_from(self.entries.len()).expect("slab index overflow");
+            self.entries.push(Entry {
+                gen: 0,
+                value: Some(value),
+            });
+            IoSlot { index, gen: 0 }
+        }
+    }
+
+    /// Shared access to a live entry; `None` if the slot is stale or free.
+    #[inline]
+    pub fn get(&self, slot: IoSlot) -> Option<&T> {
+        self.entries
+            .get(slot.index as usize)
+            .filter(|e| e.gen == slot.gen)
+            .and_then(|e| e.value.as_ref())
+    }
+
+    /// Mutable access to a live entry; `None` if the slot is stale or free.
+    #[inline]
+    pub fn get_mut(&mut self, slot: IoSlot) -> Option<&mut T> {
+        self.entries
+            .get_mut(slot.index as usize)
+            .filter(|e| e.gen == slot.gen)
+            .and_then(|e| e.value.as_mut())
+    }
+
+    /// Removes and returns a live entry, bumping the slot generation so
+    /// the handle (and any copies of it) go stale. `None` if already
+    /// stale or free.
+    pub fn remove(&mut self, slot: IoSlot) -> Option<T> {
+        let e = self
+            .entries
+            .get_mut(slot.index as usize)
+            .filter(|e| e.gen == slot.gen)?;
+        let value = e.value.take()?;
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(slot.index);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over live entries (slot order, not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (IoSlot, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    IoSlot {
+                        index: i as u32,
+                        gen: e.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = IoSlab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+    }
+
+    #[test]
+    fn stale_handles_never_alias_reused_slots() {
+        let mut s = IoSlab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        // Same index, new generation: the old handle stays dead.
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn dangling_never_resolves() {
+        let mut s: IoSlab<u8> = IoSlab::new();
+        s.insert(9);
+        assert_eq!(s.get(IoSlot::DANGLING), None);
+        assert_eq!(s.remove(IoSlot::DANGLING), None);
+    }
+
+    #[test]
+    fn free_list_recycles_lifo() {
+        let mut s = IoSlab::new();
+        let slots: Vec<_> = (0..8).map(|i| s.insert(i)).collect();
+        for &sl in &slots {
+            s.remove(sl);
+        }
+        assert!(s.is_empty());
+        // LIFO reuse: last freed comes back first.
+        let r = s.insert(100);
+        assert_eq!(r.index(), slots[7].index());
+    }
+
+    #[test]
+    fn iter_visits_only_live() {
+        let mut s = IoSlab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        s.remove(a);
+        let vals: Vec<_> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![2]);
+    }
+}

@@ -72,7 +72,18 @@ pub struct ServiceModel {
     head: Option<u64>,
     /// Calibrated √-seek coefficient in microseconds.
     seek_coeff_us: f64,
+    /// Pre-drawn rotational-latency samples, consumed in draw order.
+    /// Refilled from `rng` in chunks of `batch`; because the rotation
+    /// bound is a constant of the model and `rng` feeds nothing else,
+    /// the value sequence is identical to scalar per-request draws.
+    draws: Vec<u64>,
+    next_draw: usize,
+    batch: usize,
 }
+
+/// Rotation draws pre-fetched per refill; amortizes the per-draw RNG
+/// call overhead on the service-time hot path.
+const ROTATION_BATCH: usize = 64;
 
 impl ServiceModel {
     /// Creates a model for `params` with its own random stream for
@@ -91,7 +102,18 @@ impl ServiceModel {
             rng,
             head: None,
             seek_coeff_us,
+            draws: Vec::new(),
+            next_draw: 0,
+            batch: ROTATION_BATCH,
         }
+    }
+
+    /// Overrides how many rotation draws are pre-fetched per RNG refill.
+    /// `1` degenerates to scalar per-request draws; any size yields the
+    /// same value sequence (see the draw-order regression test).
+    pub fn set_rotation_batch(&mut self, batch: usize) {
+        assert!(batch > 0, "rotation batch must be positive");
+        self.batch = batch;
     }
 
     /// The disk parameters this model was built from.
@@ -171,8 +193,15 @@ impl ServiceModel {
     }
 
     fn rotation_draw(&mut self) -> Duration {
-        let full = self.params.full_rotation().as_micros();
-        Duration::from_micros(self.rng.below(full.max(1)))
+        if self.next_draw == self.draws.len() {
+            let full = self.params.full_rotation().as_micros().max(1);
+            self.draws.clear();
+            self.rng.fill_below(full, self.batch, &mut self.draws);
+            self.next_draw = 0;
+        }
+        let v = self.draws[self.next_draw];
+        self.next_draw += 1;
+        Duration::from_micros(v)
     }
 }
 
@@ -265,6 +294,26 @@ mod tests {
             assert_eq!(p.transfer, totals.params().transfer_time(bytes));
         }
         assert_eq!(totals.head_position(), parts.head_position());
+    }
+
+    #[test]
+    fn batched_draws_match_scalar_on_1k_requests() {
+        // The RNG batching contract: pre-fetching rotation draws must
+        // consume the seeded stream in exactly the order scalar
+        // per-request draws would, so every per-request decomposition —
+        // and therefore every simulated byte downstream — is identical.
+        let mut scalar = model(31);
+        scalar.set_rotation_batch(1);
+        let mut batched = model(31); // default ROTATION_BATCH
+        let mut rng = SimRng::seed_from(32);
+        for i in 0..1000 {
+            let off = rng.below(scalar.params().capacity_bytes - (1 << 21));
+            let bytes = 4096 * (1 + rng.below(128));
+            let a = scalar.service_parts(off, bytes);
+            let b = batched.service_parts(off, bytes);
+            assert_eq!(a, b, "request {i}: batched parts diverged from scalar");
+        }
+        assert_eq!(scalar.head_position(), batched.head_position());
     }
 
     #[test]

@@ -7,14 +7,15 @@
 use crate::geometry::Raid5Geometry;
 use rolo_core::ctx::SimCtx;
 use rolo_core::policy::{Policy, PolicyStats};
+use rolo_core::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_sim::IoMap;
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
     /// Direct user sub-request (reads).
-    User(u64),
+    User(IoSlot),
     /// Phase-1 read of an RMW chain.
     ChainRead(u64),
     /// Phase-2 write of an RMW chain.
@@ -23,7 +24,7 @@ enum Tag {
 
 #[derive(Debug)]
 struct Chain {
-    user: u64,
+    user: IoSlot,
     data_disk: DiskId,
     data_offset: u64,
     parity_disk: DiskId,
@@ -37,8 +38,8 @@ struct Chain {
 #[derive(Debug)]
 pub struct Raid5Policy {
     geometry: Raid5Geometry,
-    io_map: HashMap<u64, Tag>,
-    chains: HashMap<u64, Chain>,
+    io_map: IoMap<Tag>,
+    chains: IoMap<Chain>,
     next_chain: u64,
 }
 
@@ -47,8 +48,8 @@ impl Raid5Policy {
     pub fn new(geometry: Raid5Geometry) -> Self {
         Raid5Policy {
             geometry,
-            io_map: HashMap::new(),
-            chains: HashMap::new(),
+            io_map: IoMap::default(),
+            chains: IoMap::default(),
             next_chain: 0,
         }
     }
@@ -77,7 +78,7 @@ impl Policy for Raid5Policy {
         let exts = self.geometry.split(offset, bytes);
         match rec.kind {
             ReqKind::Read => {
-                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                let uslot = ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in exts {
                     let id = ctx.submit(
                         e.data_disk,
@@ -86,20 +87,20 @@ impl Policy for Raid5Policy {
                         e.bytes,
                         Priority::Foreground,
                     );
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(uslot));
                 }
             }
             ReqKind::Write => {
                 // One RMW chain per extent; the user completes when every
                 // chain's phase-2 writes land.
-                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                let uslot = ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in exts {
                     let chain = self.next_chain;
                     self.next_chain += 1;
                     self.chains.insert(
                         chain,
                         Chain {
-                            user: user_id,
+                            user: uslot,
                             data_disk: e.data_disk,
                             data_offset: e.offset,
                             parity_disk: e.parity_disk,

@@ -15,13 +15,14 @@ use rolo_core::ctx::SimCtx;
 use rolo_core::dirty::DirtyMap;
 use rolo_core::logspace::LoggerSpace;
 use rolo_core::policy::{Policy, PolicyStats};
+use rolo_core::IoSlot;
 use rolo_disk::{DiskId, DiskRequest, IoKind, Priority};
+use rolo_sim::IoMap;
 use rolo_trace::{ReqKind, TraceRecord};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
 enum Tag {
-    User(u64),
+    User(IoSlot),
     ChainRead(u64),
     ChainWrite(u64),
     /// Background flush of NVRAM-staged deltas to the log.
@@ -39,7 +40,7 @@ enum Tag {
 
 #[derive(Debug)]
 struct Chain {
-    user: u64,
+    user: IoSlot,
     data_disk: DiskId,
     data_offset: u64,
     bytes: u64,
@@ -80,8 +81,8 @@ pub struct Rolo5Policy {
     watermark: Vec<u64>,
     destage_active: Vec<bool>,
     chain_busy: Vec<bool>,
-    io_map: HashMap<u64, Tag>,
-    chains: HashMap<u64, Chain>,
+    io_map: IoMap<Tag>,
+    chains: IoMap<Chain>,
     next_chain: u64,
     deactivated: bool,
     drain_mode: bool,
@@ -155,8 +156,8 @@ impl Rolo5Policy {
             watermark: vec![0; disks],
             destage_active: vec![false; disks],
             chain_busy: vec![false; disks],
-            io_map: HashMap::new(),
-            chains: HashMap::new(),
+            io_map: IoMap::default(),
+            chains: IoMap::default(),
             next_chain: 0,
             deactivated: false,
             drain_mode: false,
@@ -479,7 +480,7 @@ impl Policy for Rolo5Policy {
         let exts = self.geometry.split(offset, bytes);
         match rec.kind {
             ReqKind::Read => {
-                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                let uslot = ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in exts {
                     let id = ctx.submit(
                         e.data_disk,
@@ -488,11 +489,11 @@ impl Policy for Rolo5Policy {
                         e.bytes,
                         Priority::Foreground,
                     );
-                    self.io_map.insert(id, Tag::User(user_id));
+                    self.io_map.insert(id, Tag::User(uslot));
                 }
             }
             ReqKind::Write => {
-                ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
+                let uslot = ctx.register_user(user_id, rec.kind, ctx.now, exts.len() as u32);
                 for e in &exts {
                     let mut target = None;
                     if !self.deactivated {
@@ -512,7 +513,7 @@ impl Policy for Rolo5Policy {
                     self.chains.insert(
                         chain_id,
                         Chain {
-                            user: user_id,
+                            user: uslot,
                             data_disk: e.data_disk,
                             data_offset: e.offset,
                             bytes: e.bytes,

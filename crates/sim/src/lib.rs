@@ -25,11 +25,15 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod calendar;
+pub mod fastmap;
 pub mod queue;
 pub mod rng;
 pub mod schedule;
 pub mod time;
 
-pub use queue::{EventQueue, ScheduledEvent};
+pub use calendar::CalendarQueue;
+pub use fastmap::{IdHasher, IoMap, IoSet};
+pub use queue::{EventQueue, FutureEventList, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};

@@ -96,6 +96,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `cargo bench -- --test` runs every benchmark exactly once
+        // (smoke mode, mirroring real criterion): a zero budget makes
+        // the iteration loops below break after their first pass.
+        if std::env::args().any(|a| a == "--test") {
+            return Criterion {
+                budget: Duration::ZERO,
+            };
+        }
         // Keep runs quick; override with CRITERION_BUDGET_MS.
         let ms = std::env::var("CRITERION_BUDGET_MS")
             .ok()
