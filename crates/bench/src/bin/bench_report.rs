@@ -1,5 +1,5 @@
 //! Performance-trajectory reporter: runs the fixed smoke workload
-//! matrix (every scheme × two contrasting MSR profiles) and writes
+//! matrix (every scheme × four contrasting MSR profiles) and writes
 //! `BENCH_sim.json` at the repo root — simulated response percentiles,
 //! energy and the simulator's own wall-clock throughput
 //! (events/sec from [`rolo_obs::RunProfile`]). Successive commits of the
@@ -43,8 +43,11 @@ const SCHEMES: [Scheme; 5] = [
     Scheme::RoloE,
 ];
 
-/// ...crossed with a write-heavy and a read-leaning MSR profile.
-const TRACES: [&str; 2] = ["src2_2", "hm_1"];
+/// ...crossed with four contrasting MSR profiles: write-heavy
+/// (src2_2), read-leaning with a spin-up-hostile tail (hm_1),
+/// write-dominated project directories (proj_0) and low-rate web/SQL
+/// traffic (web_1).
+const TRACES: [&str; 4] = ["src2_2", "hm_1", "proj_0", "web_1"];
 
 #[derive(Debug, Clone, Serialize)]
 struct Cell {

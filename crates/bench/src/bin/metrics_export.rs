@@ -21,7 +21,13 @@
 //!   series an OpenMetrics summary whose quantile values come from the
 //!   freshest non-idle window (summaries are windowed by convention)
 //!   and whose `_count`/`_sum` cover all retained windows. Every
-//!   sample carries `scheme`/`trace` labels.
+//!   sample carries `scheme`/`trace` labels. Latency-quantile sample
+//!   lines additionally carry an OpenMetrics exemplar annotation
+//!   (`... # {rid="...",phase="..."} <response_us> <ts>`) naming a
+//!   real tail request captured in the same window by the exemplar
+//!   recorder (DESIGN.md §14): higher quantiles reference slower
+//!   exemplars, so a p99 sample points at the window's slowest
+//!   request and its dominant critical-path phase.
 //! * `<tag>.timeline.jsonl` — one line per (series, closed window):
 //!   the raw `WindowRollup` with its series label, for offline rollup
 //!   tooling.
@@ -33,7 +39,7 @@
 
 use rolo_core::{run_scheme_observed, Scheme, SimConfig, SimReport};
 use rolo_obs::{
-    AttributionSummary, RingSink, RollupValue, SeriesKind, SloAlert, SpanAnalysis,
+    AttributionSummary, ExemplarSet, RingSink, RollupValue, SeriesKind, SloAlert, SpanAnalysis,
     TelemetrySnapshot, TracedEvent,
 };
 use rolo_sim::Duration;
@@ -225,12 +231,33 @@ fn om_labels(meta: &ExportMeta, extra: Option<(&str, &str)>) -> String {
     l
 }
 
+/// The exemplar annotation for one quantile sample line, OpenMetrics
+/// exemplar syntax: `# {rid="...",phase="..."} <value> <ts>`. Higher
+/// quantiles get slower exemplars (`rank` 0 = the window's slowest),
+/// clamped to what the window retained.
+fn om_exemplar(exemplars: Option<&rolo_obs::WindowExemplars>, rank: usize) -> String {
+    let Some(we) = exemplars else {
+        return String::new();
+    };
+    let Some(e) = we.spans.get(rank.min(we.spans.len().saturating_sub(1))) else {
+        return String::new();
+    };
+    let phase = e.dominant_phase().map(|p| p.name()).unwrap_or("-");
+    format!(
+        " # {{rid=\"{}\",phase=\"{phase}\"}} {} {}",
+        e.rid,
+        e.response_us,
+        e.completed.as_micros() as f64 / 1e6
+    )
+}
+
 /// Renders the OpenMetrics exposition: every telemetry series plus the
 /// report headline numbers, `# EOF`-terminated per the spec.
 fn render_openmetrics(
     meta: &ExportMeta,
     report: &ReportSummary,
     snap: &TelemetrySnapshot,
+    exemplars: Option<&ExemplarSet>,
 ) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -274,21 +301,26 @@ fn render_openmetrics(
                         count += d.count;
                         sum += d.sum;
                         if d.count > 0 {
-                            fresh = Some(d);
+                            fresh = Some((w.window, d));
                         }
                     }
                 }
                 let _ = writeln!(out, "# TYPE {name} summary");
-                if let Some(d) = fresh {
-                    for (q, v) in [
-                        ("0.5", d.p50),
-                        ("0.9", d.p90),
-                        ("0.95", d.p95),
-                        ("0.99", d.p99),
+                if let Some((fw, d)) = fresh {
+                    // Tail exemplars captured in the same window the
+                    // quantile values come from, slowest-first; rank 0
+                    // annotates the highest quantile.
+                    let wexm = exemplars.and_then(|e| e.window(fw));
+                    for (q, v, rank) in [
+                        ("0.5", d.p50, 3usize),
+                        ("0.9", d.p90, 2),
+                        ("0.95", d.p95, 1),
+                        ("0.99", d.p99, 0),
                     ] {
                         if let Some(v) = v {
                             let ql = om_labels(meta, Some(("quantile", q)));
-                            let _ = writeln!(out, "{name}{{{ql}}} {v}");
+                            let exm = om_exemplar(wexm, rank);
+                            let _ = writeln!(out, "{name}{{{ql}}} {v}{exm}");
                         }
                     }
                 }
@@ -366,6 +398,7 @@ fn main() {
     }
     let events = obs.sink.drain();
     let snap = obs.telemetry.take().expect("telemetry enabled");
+    let exemplars = obs.exemplars.take();
     let spans = obs.spans.take().expect("spans requested");
     let phases = SpanAnalysis::analyze(&spans.requests).all.summary();
 
@@ -398,7 +431,7 @@ fn main() {
 
     // OpenMetrics exposition.
     let om_path = dir.join(format!("{tag}.om"));
-    let om = render_openmetrics(&meta, &summary, &snap);
+    let om = render_openmetrics(&meta, &summary, &snap, exemplars.as_ref());
     std::fs::write(&om_path, &om).expect("write OpenMetrics file");
 
     // Window timeline, one rollup per line.

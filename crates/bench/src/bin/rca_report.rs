@@ -1,0 +1,273 @@
+//! Breach drill-down: runs one scheme with tail forensics on and
+//! prints the root-cause attribution of every SLO alert window
+//! (DESIGN.md §14) — the phase-ranked blame table built from the
+//! window's tail exemplars, the culprit background activity named by
+//! `delayed_by` causality, and the originating event kind.
+//!
+//! ```text
+//! rca_report [scheme] [trace] [hours] [--pairs N] [--seed S]
+//!            [--trace-seed S] [--exemplars K] [--check]
+//!            [--expect-dominant PHASE] [--expect-clean]
+//! ```
+//!
+//! Defaults reproduce the locked telemetry acceptance run: rolo-e on
+//! hm_1 for 3 simulated hours, 10 pairs, seed 0x7e1e, trace seed 42 —
+//! the configuration whose p95 spin-up tail the SLO monitor is known
+//! to breach online.
+//!
+//! * `--check` — verify the report's conservation contract (blame
+//!   shares partition the attributed tail time exactly) and exit
+//!   non-zero on violation.
+//! * `--expect-dominant PHASE` — additionally require a breach whose
+//!   first breach window's dominant phase is `PHASE` (the CI gate for
+//!   RoLo-E × hm_1: SpinUpStall).
+//! * `--expect-clean` — additionally require that the run raised no
+//!   SLO alert at all (the CI gate for RoLo-P × hm_1).
+//!
+//! The full typed `RcaReport` lands in
+//! `results/rca_<scheme>_<trace>.json` (strict JSON, deterministic
+//! for fixed inputs).
+
+use rolo_core::{run_scheme_observed, Scheme, SimConfig};
+use rolo_obs::{NullSink, RcaReport, SloSignal};
+use rolo_sim::Duration;
+use serde::Serialize;
+
+struct Args {
+    scheme: Scheme,
+    scheme_arg: String,
+    trace: String,
+    hours: f64,
+    pairs: usize,
+    seed: u64,
+    trace_seed: u64,
+    exemplars: usize,
+    check: bool,
+    expect_dominant: Option<String>,
+    expect_clean: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: Scheme::RoloE,
+        scheme_arg: "rolo-e".to_owned(),
+        trace: "hm_1".to_owned(),
+        hours: 3.0,
+        pairs: 10,
+        seed: 0x7e1e,
+        trace_seed: 42,
+        exemplars: 8,
+        check: false,
+        expect_dominant: None,
+        expect_clean: false,
+    };
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--pairs" => args.pairs = val("--pairs").parse().expect("pairs"),
+            "--seed" => args.seed = val("--seed").parse().expect("seed"),
+            "--trace-seed" => args.trace_seed = val("--trace-seed").parse().expect("trace-seed"),
+            "--exemplars" => args.exemplars = val("--exemplars").parse().expect("exemplars"),
+            "--check" => args.check = true,
+            "--expect-dominant" => args.expect_dominant = Some(val("--expect-dominant")),
+            "--expect-clean" => args.expect_clean = true,
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of rca_report.rs");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => {
+                match positional {
+                    0 => {
+                        args.scheme = match other {
+                            "raid10" => Scheme::Raid10,
+                            "graid" => Scheme::Graid,
+                            "rolo-p" => Scheme::RoloP,
+                            "rolo-r" => Scheme::RoloR,
+                            "rolo-e" => Scheme::RoloE,
+                            _ => {
+                                eprintln!("unknown scheme {other}");
+                                std::process::exit(2);
+                            }
+                        };
+                        args.scheme_arg = other.to_owned();
+                    }
+                    1 => args.trace = other.to_owned(),
+                    2 => args.hours = other.parse().expect("hours"),
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+/// The strict-JSON document: run coordinates plus the typed report.
+#[derive(Debug, Serialize)]
+struct Export {
+    scheme: String,
+    trace: String,
+    hours: f64,
+    pairs: usize,
+    seed: u64,
+    trace_seed: u64,
+    exemplars_per_window: usize,
+    exemplar_windows: usize,
+    exemplars_captured: usize,
+    rca: RcaReport,
+}
+
+fn print_window(w: &rolo_obs::WindowRca) {
+    let signal = match w.signal {
+        SloSignal::Warning => "WARN",
+        SloSignal::Breach => "BREACH",
+    };
+    println!(
+        "window {:>4}  {:<12} {:<6} observed {:>12.0}  target {:>10.0}  burn {:>5.1}/{:<5.1}",
+        w.window, w.slo, signal, w.observed, w.target, w.burn_short, w.burn_long
+    );
+    if w.exemplars == 0 {
+        println!("  (no tail exemplars captured for this window)");
+        return;
+    }
+    println!(
+        "  {} exemplars, {:.1} ms tail time, {:.1}% attributed, dominant: {}",
+        w.exemplars,
+        w.total_us as f64 / 1e3,
+        if w.total_us == 0 {
+            100.0
+        } else {
+            w.attributed_us as f64 / w.total_us as f64 * 100.0
+        },
+        w.dominant_phase.unwrap_or("-"),
+    );
+    for b in &w.blame {
+        println!(
+            "    {:<20} {:>10.1} ms  {:>5.1}%",
+            b.phase,
+            b.us as f64 / 1e3,
+            b.share * 100.0
+        );
+    }
+    if let Some(c) = &w.culprit {
+        println!(
+            "  culprit: {} (origin event {}), disks {:?}, {} linked bg span(s)",
+            c.activity,
+            c.origin_event,
+            c.disks,
+            c.bg_spans.len()
+        );
+        if !c.power_states.is_empty() {
+            let states: Vec<String> = c
+                .power_states
+                .iter()
+                .map(|(d, s)| format!("{d}:{s:?}"))
+                .collect();
+            println!("  implicated power states: {}", states.join(" "));
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = SimConfig::paper_default(args.scheme, args.pairs);
+    cfg.seed = args.seed;
+    cfg.exemplars_per_window = args.exemplars;
+    cfg.rca_enabled = true;
+    cfg.validate();
+    let profile = rolo_trace::profiles::by_name(&args.trace).unwrap_or_else(|| {
+        eprintln!("unknown trace profile {}", args.trace);
+        std::process::exit(2);
+    });
+    let dur = Duration::from_secs((args.hours * 3600.0) as u64);
+    let records = profile.generator(dur, args.trace_seed).collect::<Vec<_>>();
+
+    let (report, obs) = run_scheme_observed(&cfg, records, dur, Box::new(NullSink), true);
+    rolo_bench::expect_consistent(&report, &report.scheme);
+    let rca = obs.rca.expect("rca_enabled");
+    let exemplars = obs.exemplars.expect("exemplar capture on");
+
+    println!(
+        "tail forensics: {} on {} for {} h ({} requests, {} exemplar windows, {} exemplars)",
+        report.scheme,
+        args.trace,
+        args.hours,
+        report.user_requests,
+        exemplars.windows.len(),
+        exemplars.total(),
+    );
+    if rca.is_clean() {
+        println!("no SLO alerts raised — nothing to attribute");
+    } else {
+        println!(
+            "{} warning window(s), {} breach window(s):",
+            rca.warnings, rca.breaches
+        );
+        for w in &rca.windows {
+            print_window(w);
+        }
+    }
+
+    let export = Export {
+        scheme: report.scheme.clone(),
+        trace: args.trace.clone(),
+        hours: args.hours,
+        pairs: args.pairs,
+        seed: args.seed,
+        trace_seed: args.trace_seed,
+        exemplars_per_window: args.exemplars,
+        exemplar_windows: exemplars.windows.len(),
+        exemplars_captured: exemplars.total(),
+        rca: rca.clone(),
+    };
+    rolo_bench::write_results(&format!("rca_{}_{}", args.scheme_arg, args.trace), &export);
+
+    let mut failures: Vec<String> = Vec::new();
+    if args.check {
+        if let Err(e) = rca.check() {
+            failures.push(format!("conservation violated: {e}"));
+        }
+    }
+    if let Some(phase) = &args.expect_dominant {
+        match rca.first_breach() {
+            None => failures.push("expected a breach window, none raised".to_owned()),
+            Some(w) => {
+                if w.dominant_phase != Some(phase.as_str()) {
+                    failures.push(format!(
+                        "first breach window {} dominated by {:?}, expected {phase}",
+                        w.window, w.dominant_phase
+                    ));
+                }
+            }
+        }
+    }
+    if args.expect_clean && !rca.is_clean() {
+        failures.push(format!(
+            "expected a clean run, got {} warning(s) and {} breach(es)",
+            rca.warnings, rca.breaches
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    if args.check || args.expect_dominant.is_some() || args.expect_clean {
+        println!("rca checks passed");
+    }
+}

@@ -4,7 +4,7 @@
 //! where each scheme's mean response time actually goes.
 //!
 //! ```text
-//! span_report [trace] [hours]     (defaults: src2_2, 2)
+//! span_report [trace] [hours] [--top N]     (defaults: src2_2, 2)
 //! ```
 //!
 //! Exits non-zero if any scheme attributes less than 95 % of its summed
@@ -12,6 +12,12 @@
 //! promises. Results land in `results/span_report.json`. Rows are
 //! sorted by scheme name so the table and JSON are byte-stable for CI
 //! diffs regardless of worker scheduling.
+//!
+//! `--top N` appends a per-scheme drill-down of the N slowest requests
+//! (selected by the same deterministic total order the exemplar
+//! recorder uses — response time descending, request id ascending):
+//! request id, response time, dominant critical-path phase and the
+//! background activity that delayed it, if `delayed_by` names one.
 
 use rolo_bench::{expect_consistent, parallel_map};
 use rolo_core::{ParaidPolicy, Scheme, SimConfig, SimReport};
@@ -54,10 +60,62 @@ fn paraid(cfg: &SimConfig, burst_iops: f64) -> ParaidPolicy {
     )
 }
 
+/// The N slowest requests of one scheme's run, for `--top`.
+fn top_table(scheme: &str, spans: &SpanSet, n: usize) {
+    println!("{scheme}: {n} slowest requests");
+    println!(
+        "  {:>8} {:>12} {:<20} {:<10}",
+        "rid", "response", "dominant", "culprit"
+    );
+    for span in rolo_obs::slowest_spans(&spans.requests, n) {
+        let path = rolo_obs::critical_path(span);
+        let dominant = path
+            .phase_us
+            .iter()
+            .enumerate()
+            .filter(|(_, us)| **us > 0)
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| rolo_obs::Phase::ALL[i].name())
+            .unwrap_or("-");
+        // Name the background activity that delayed the request, if
+        // any leg was pushed behind one (`-` covers self-inflicted
+        // tails like spin-up stalls, which have no bg span).
+        let culprit = span
+            .legs
+            .iter()
+            .filter_map(|l| l.delayed_by)
+            .find_map(|id| spans.background.iter().find(|b| b.id == id))
+            .map(|b| format!("{:?}", b.kind))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "  {:>8} {:>10.2}ms {:<20} {:<10}",
+            span.id,
+            span.duration().as_micros() as f64 / 1e3,
+            dominant,
+            culprit
+        );
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let trace = args.get(1).map(String::as_str).unwrap_or("src2_2");
-    let hours: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let mut top = 0usize;
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--top" {
+            top = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--top takes a count");
+        } else {
+            positional.push(a);
+        }
+    }
+    let trace = positional.first().map(String::as_str).unwrap_or("src2_2");
+    let hours: f64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
     let profile = rolo_trace::profiles::by_name(trace).expect("unknown trace profile");
     let dur = Duration::from_secs((hours * 3600.0) as u64);
 
@@ -158,6 +216,16 @@ fn main() {
                 "{}: {} foreground legs delayed by {} background spans",
                 row.scheme, row.delayed_legs, row.background_spans
             );
+        }
+    }
+
+    if top > 0 {
+        // Same sort as the table rows: by scheme name, byte-stable.
+        let mut by_scheme: Vec<&(SimReport, SpanSet)> = runs.iter().collect();
+        by_scheme.sort_by(|a, b| a.0.scheme.cmp(&b.0.scheme));
+        println!();
+        for (report, spans) in by_scheme {
+            top_table(&report.scheme, spans, top);
         }
     }
 

@@ -132,6 +132,53 @@ fn telemetry_does_not_perturb_the_simulation() {
 }
 
 #[test]
+fn forensics_do_not_perturb_the_simulation() {
+    let dur = Duration::from_secs(900);
+    for scheme in Scheme::all() {
+        // Forensics fully on (exemplars + RCA, which force-enables
+        // span recording) vs fully off: the deterministic report must
+        // not move by a byte.
+        let mut cfg_on = small_cfg(scheme);
+        cfg_on.rca_enabled = true;
+        assert!(cfg_on.exemplars_per_window > 0, "exemplars on by default");
+        let mut cfg_off = small_cfg(scheme);
+        cfg_off.exemplars_per_window = 0;
+        cfg_off.rca_enabled = false;
+        let observe = |cfg: &SimConfig| {
+            rolo_core::run_scheme_observed(
+                cfg,
+                workload(dur, 51),
+                dur,
+                Box::new(rolo_obs::NullSink),
+                false,
+            )
+        };
+        let (on, obs_on) = observe(&cfg_on);
+        let (off, obs_off) = observe(&cfg_off);
+        assert_eq!(
+            on.deterministic_json(),
+            off.deterministic_json(),
+            "tail forensics changed the simulation for {scheme}"
+        );
+        assert!(
+            obs_on.rca.is_some(),
+            "{scheme}: rca_enabled exports a report"
+        );
+        assert!(
+            obs_off.exemplars.is_none(),
+            "{scheme}: k = 0 disables capture"
+        );
+        // The forensics exports themselves are deterministic.
+        let (_, obs_again) = observe(&cfg_on);
+        assert_eq!(
+            obs_on.exemplars, obs_again.exemplars,
+            "{scheme}: exemplars diverged"
+        );
+        assert_eq!(obs_on.rca, obs_again.rca, "{scheme}: RCA reports diverged");
+    }
+}
+
+#[test]
 fn span_recording_does_not_perturb_the_simulation() {
     let dur = Duration::from_secs(900);
     for scheme in Scheme::all() {

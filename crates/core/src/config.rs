@@ -136,6 +136,18 @@ pub struct SimConfig {
     pub slos: Vec<SloSpec>,
     /// Multi-window burn-rate alerting thresholds shared by all SLOs.
     pub slo_burn: BurnRatePolicy,
+    /// Tail exemplars retained per telemetry window: the k of the
+    /// bounded top-k slowest-request recorder (DESIGN.md §14). Zero
+    /// disables capture. The recorder only observes anything when
+    /// telemetry *and* span recording are both on — it needs finished
+    /// spans to decompose — and is observational either way.
+    pub exemplars_per_window: usize,
+    /// Run root-cause attribution over every SLO alert window at end
+    /// of run (DESIGN.md §14). Forces span recording on so exemplar
+    /// critical paths and `delayed_by` causality exist; the pass is
+    /// observational only, so the report stays byte-identical with it
+    /// on or off.
+    pub rca_enabled: bool,
 }
 
 fn default_log_segment() -> u64 {
@@ -209,6 +221,8 @@ impl SimConfig {
             telemetry_retain: 256,
             slos: default_slos(),
             slo_burn: default_burn_policy(),
+            exemplars_per_window: 8,
+            rca_enabled: false,
         }
     }
 
@@ -312,6 +326,19 @@ impl SimConfig {
             self.slo_burn.check().map_err(ConfigError::Tunable)?;
             for slo in &self.slos {
                 slo.check().map_err(ConfigError::Tunable)?;
+            }
+            // The exemplar recorder's memory bound is retain · k spans;
+            // cap k so a typo cannot turn "bounded" into "everything".
+            if self.exemplars_per_window > 4096 {
+                return Err(ConfigError::Tunable("exemplars_per_window out of range"));
+            }
+        }
+        if self.rca_enabled {
+            if !self.telemetry_enabled {
+                return Err(ConfigError::Tunable("RCA requires telemetry"));
+            }
+            if self.exemplars_per_window == 0 {
+                return Err(ConfigError::Tunable("RCA requires exemplar capture"));
             }
         }
         self.faults
@@ -452,6 +479,34 @@ mod tests {
         // With telemetry disabled the knobs are inert and unchecked.
         c.telemetry_enabled = false;
         c.telemetry_retain = 0;
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn check_flags_bad_forensics_knobs() {
+        let mut c = SimConfig::paper_default(Scheme::RoloE, 4);
+        c.rca_enabled = true;
+        assert!(c.check().is_ok(), "RCA on top of defaults validates");
+        c.exemplars_per_window = 0;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable("RCA requires exemplar capture"))
+        );
+        c.exemplars_per_window = 8;
+        c.telemetry_enabled = false;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable("RCA requires telemetry"))
+        );
+        c.telemetry_enabled = true;
+        c.exemplars_per_window = 1 << 20;
+        assert_eq!(
+            c.check(),
+            Err(ConfigError::Tunable("exemplars_per_window out of range"))
+        );
+        // With RCA off, zero exemplars simply disables capture.
+        c.rca_enabled = false;
+        c.exemplars_per_window = 0;
         assert!(c.check().is_ok());
     }
 

@@ -13,6 +13,7 @@ use rolo_disk::{Disk, DiskId, DiskParams, DiskRequest, DiskWake, IoKind, IoOutco
 use rolo_disk::{DiskEnergyReport, IntegrityMap, PowerState, SchedulerKind};
 use rolo_metrics::{IntervalTracker, ResponseStats, Timeline};
 use rolo_obs::{critical_path, BgSpanKind, LegFlavor, SpanCollector, SpanSet, NUM_PHASES};
+use rolo_obs::{ExemplarRecorder, ExemplarSet};
 use rolo_obs::{MetricId, MetricsRegistry, NullSink, SimEvent, TraceSink};
 use rolo_obs::{
     Phase, RollupValue, SeriesId, SloAlert, SloMonitor, SloSignal, Telemetry, TelemetrySnapshot,
@@ -245,6 +246,11 @@ struct CtxTelemetry {
     /// Per-span-phase critical-path microseconds (populated only when
     /// span recording is also on), indexed by `Phase::index()`.
     phase_us: [SeriesId; NUM_PHASES],
+    /// Windowed top-k tail-exemplar recorder (DESIGN.md §14), present
+    /// when `SimConfig::exemplars_per_window > 0`. Like the phase
+    /// series it only observes anything when span recording is also
+    /// on, and it rides the telemetry window clock.
+    exemplars: Option<ExemplarRecorder>,
 }
 
 /// Pre-registered hot-path metric ids, so emit points index the registry
@@ -317,6 +323,13 @@ impl SimCtx {
                 .collect();
             let phase_us =
                 Phase::ALL.map(|p| hub.counter(&format!("phase.{}.critical_path_us", p.name())));
+            let exemplars = (cfg.exemplars_per_window > 0).then(|| {
+                ExemplarRecorder::new(
+                    cfg.exemplars_per_window,
+                    cfg.telemetry_window,
+                    cfg.telemetry_retain,
+                )
+            });
             CtxTelemetry {
                 hub,
                 monitor: SloMonitor::new(cfg.slo_burn, cfg.slos.clone()),
@@ -326,6 +339,7 @@ impl SimCtx {
                 dispatched_bytes,
                 disk_transitions,
                 phase_us,
+                exemplars,
             }
         });
         let trace_on = sink.enabled();
@@ -556,6 +570,11 @@ impl SimCtx {
         let mut alerts = Vec::new();
         if let Some(tel) = &mut self.telemetry {
             tel.hub.set(tel.power_w, power);
+            if let Some(rec) = &mut tel.exemplars {
+                // Keep the exemplar ring on the same window clock as
+                // the telemetry hub: seal elapsed windows together.
+                rec.advance(now);
+            }
             for w in tel.hub.advance(now) {
                 let Some(latency) = tel.hub.rollup(tel.response_us, w.window) else {
                     continue; // evicted by a coarse multi-window close
@@ -609,6 +628,18 @@ impl SimCtx {
     /// order.
     pub fn take_slo_alerts(&mut self) -> Vec<SloAlert> {
         std::mem::take(&mut self.slo_alerts)
+    }
+
+    /// Driver hook: detaches the captured tail exemplars, sealing the
+    /// open window. `None` when capture was off
+    /// (`exemplars_per_window == 0` or telemetry disabled). Must be
+    /// called before [`SimCtx::take_telemetry`], which consumes the
+    /// whole telemetry state.
+    pub fn take_exemplars(&mut self) -> Option<ExemplarSet> {
+        self.telemetry
+            .as_mut()
+            .and_then(|t| t.exemplars.take())
+            .map(ExemplarRecorder::finish)
     }
 
     /// Bumps the transition counter and emits [`SimEvent::DiskState`]
@@ -882,8 +913,17 @@ impl SimCtx {
         let mut phase_us: Option<[u64; NUM_PHASES]> = None;
         if let Some(s) = &mut self.spans {
             if let Some(span) = s.close_request(user_id, self.now) {
-                if self.telemetry.is_some() {
-                    phase_us = Some(critical_path(span).phase_us);
+                if let Some(tel) = &mut self.telemetry {
+                    let path = critical_path(span);
+                    if let Some(rec) = &mut tel.exemplars {
+                        // Tail-exemplar capture: offer the finished
+                        // span to the bounded per-window top-k
+                        // recorder, stamping the power states of the
+                        // disks it touched (an observational read of
+                        // the SoA cache).
+                        rec.observe(self.now, span, &path, &self.power_soa);
+                    }
+                    phase_us = Some(path.phase_us);
                 }
             }
         }

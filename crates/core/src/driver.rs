@@ -16,6 +16,7 @@ use crate::policy::Policy;
 use crate::report::SimReport;
 use rolo_disk::{DiskEnergyReport, DiskId, DiskRequest, DiskWake, IoOutcome};
 use rolo_metrics::Phase;
+use rolo_obs::{ExemplarSet, RcaReport};
 use rolo_obs::{NullSink, RunProfile, SimEvent, SloAlert, SpanSet, TelemetrySnapshot, TraceSink};
 use rolo_sim::{CalendarQueue, Duration, SimTime};
 use rolo_trace::TraceRecord;
@@ -63,6 +64,13 @@ pub struct RunObservations {
     pub telemetry: Option<TelemetrySnapshot>,
     /// SLO alerts raised during the run, in emission order.
     pub slo_alerts: Vec<SloAlert>,
+    /// Windowed tail exemplars (the top-k slowest spans per telemetry
+    /// window, DESIGN.md §14), when capture was on. Empty unless span
+    /// recording also ran — the recorder needs finished spans.
+    pub exemplars: Option<ExemplarSet>,
+    /// Root-cause attribution of every SLO alert window, when
+    /// [`crate::SimConfig::rca_enabled`].
+    pub rca: Option<RcaReport>,
 }
 
 /// Snapshot captured at the `TraceEnd` marker.
@@ -181,7 +189,10 @@ fn run_trace_inner<P: Policy>(
         .map(|d| policy.initial_standby(d))
         .collect();
     let mut ctx = SimCtx::with_sink(cfg, geometry, &standby, sink);
-    if spans {
+    if spans || cfg.rca_enabled {
+        // RCA needs finished spans for exemplar critical paths and
+        // `delayed_by` causality; span recording is observational, so
+        // forcing it on cannot change the report.
         ctx.enable_spans();
     }
     // The production future-event list: a bucketed calendar queue with
@@ -492,11 +503,26 @@ fn run_trace_inner<P: Policy>(
         metrics: ctx.metrics.export(),
         profile,
     };
+    let run_spans = ctx.take_spans();
+    let exemplars = ctx.take_exemplars();
+    let slo_alerts = ctx.take_slo_alerts();
+    let rca = cfg.rca_enabled.then(|| {
+        let bg: &[rolo_obs::BgSpan] = run_spans
+            .as_ref()
+            .map(|s| s.background.as_slice())
+            .unwrap_or(&[]);
+        let exm = exemplars
+            .as_ref()
+            .expect("rca_enabled implies exemplar capture (SimConfig::check)");
+        rolo_obs::rca::analyze(&slo_alerts, exm, bg)
+    });
     let obs = RunObservations {
         sink,
-        spans: ctx.take_spans(),
+        spans: run_spans,
         telemetry: ctx.take_telemetry(),
-        slo_alerts: ctx.take_slo_alerts(),
+        slo_alerts,
+        exemplars,
+        rca,
     };
     (report, policy, obs)
 }

@@ -1,0 +1,118 @@
+//! Tail-forensics acceptance tests (DESIGN.md §14): with RCA on, the
+//! RoLo-E × hm_1 breach must be automatically attributed to spin-up
+//! stalls with an exactly-conserved blame table, while RoLo-P on the
+//! identical workload yields an empty report — and turning forensics
+//! on must never change the simulation itself.
+
+use rolo_core::{run_scheme_observed, Scheme, SimConfig};
+use rolo_obs::{NullSink, SloSignal};
+use rolo_sim::Duration;
+use rolo_trace::profiles;
+
+const SEED: u64 = 0x7e1e;
+
+fn hm1_records(dur: Duration) -> Vec<rolo_trace::TraceRecord> {
+    profiles::hm_1().generator(dur, 42).collect()
+}
+
+fn run_forensic(
+    scheme: Scheme,
+    dur: Duration,
+) -> (rolo_core::SimReport, rolo_core::RunObservations) {
+    let mut cfg = SimConfig::paper_default(scheme, 10);
+    cfg.seed = SEED;
+    cfg.rca_enabled = true;
+    run_scheme_observed(&cfg, hm1_records(dur), dur, Box::new(NullSink), false)
+}
+
+/// The tentpole acceptance: RoLo-E's online p95 breach is traced to
+/// SpinUpStall with the spin-up origin event, the blame table
+/// partitions the attributed tail time exactly, and the culprit names
+/// real disks.
+#[test]
+fn roloe_breach_is_attributed_to_spinup() {
+    let dur = Duration::from_secs(3 * 3600);
+    let (_, obs) = run_forensic(Scheme::RoloE, dur);
+    let rca = obs.rca.expect("rca_enabled populates the report");
+    rca.check().expect("conservation holds for every window");
+    assert!(rca.breaches > 0, "RoLo-E on hm_1 must breach");
+
+    let first = rca.first_breach().expect("a breach window exists");
+    assert_eq!(first.signal, SloSignal::Breach);
+    assert_eq!(first.slo, "latency_p95");
+    assert_eq!(
+        first.dominant_phase,
+        Some("SpinUpStall"),
+        "the hm_1 tail is spin-up stalls, got {:?}",
+        first.dominant_phase
+    );
+    // The dominant blame row leads the table and carries (by far) the
+    // largest share: a 10.9 s stall against ms-scale media phases.
+    let lead = first.blame.first().expect("non-empty blame table");
+    assert_eq!(lead.phase, "SpinUpStall");
+    assert!(
+        lead.share > 0.9,
+        "spin-up share {} should dominate",
+        lead.share
+    );
+
+    let culprit = first
+        .culprit
+        .as_ref()
+        .expect("dominant phase names a culprit");
+    assert_eq!(culprit.activity, "spin-up");
+    assert_eq!(culprit.origin_event, "ReadMissSpinUp");
+    assert!(
+        culprit.bg_kind.is_none(),
+        "spin-up is self-inflicted, not a background activity"
+    );
+    assert!(!culprit.disks.is_empty(), "stalled legs name their disks");
+    assert!(
+        !culprit.power_states.is_empty(),
+        "implicated disks carry power-state stamps"
+    );
+
+    // Exemplars rode along out-of-band.
+    let exemplars = obs.exemplars.expect("rca implies exemplar capture");
+    assert!(exemplars.total() > 0);
+    assert!(exemplars
+        .windows
+        .iter()
+        .all(|w| w.spans.len() <= exemplars.per_window));
+}
+
+/// A clean run produces an empty report: no alerts, no windows, no
+/// blame — and `is_clean` says so.
+#[test]
+fn rolop_run_yields_an_empty_report() {
+    let dur = Duration::from_secs(3 * 3600);
+    let (_, obs) = run_forensic(Scheme::RoloP, dur);
+    let rca = obs.rca.expect("rca_enabled populates the report");
+    assert!(rca.is_clean(), "RoLo-P must not alert, got {rca:?}");
+    assert_eq!(rca.warnings, 0);
+    assert_eq!(rca.breaches, 0);
+    assert!(rca.first_breach().is_none());
+    rca.check()
+        .expect("the empty report is trivially conserved");
+}
+
+/// Every alert the run raised gets exactly one attribution entry, in
+/// emission order, each tied to the alert's window and values.
+#[test]
+fn every_alert_window_is_attributed() {
+    let dur = Duration::from_secs(2 * 3600);
+    let (_, obs) = run_forensic(Scheme::RoloE, dur);
+    let rca = obs.rca.expect("rca on");
+    assert_eq!(
+        rca.windows.len(),
+        obs.slo_alerts.len(),
+        "one attribution per alert"
+    );
+    for (w, a) in rca.windows.iter().zip(&obs.slo_alerts) {
+        assert_eq!(w.window, a.window);
+        assert_eq!(w.slo, a.slo);
+        assert_eq!(w.signal, a.signal);
+        assert_eq!(w.observed, a.observed);
+        assert_eq!(w.target, a.target);
+    }
+}

@@ -21,7 +21,9 @@
 //! serializations.
 
 pub mod event;
+pub mod exemplar;
 pub mod profile;
+pub mod rca;
 pub mod registry;
 pub mod sink;
 pub mod sketch;
@@ -30,7 +32,11 @@ pub mod span;
 pub mod timeseries;
 
 pub use event::{SimEvent, TracedEvent};
+pub use exemplar::{
+    ranks_before, slowest_spans, ExemplarRecorder, ExemplarSet, ExemplarSpan, WindowExemplars,
+};
 pub use profile::RunProfile;
+pub use rca::{Culprit, PhaseBlame, RcaReport, WindowRca};
 pub use registry::{MetricId, MetricKind, MetricSummary, MetricsRegistry, MetricsReport};
 pub use sink::{NullSink, RingSink, TraceSink};
 pub use sketch::{QuantileSketch, SketchDigest};

@@ -1,0 +1,150 @@
+//! Property tests for the tail-exemplar recorder (DESIGN.md §14): for
+//! any stream of completed spans the selection is deterministic, never
+//! retains more than k spans per window, and is insensitive to the
+//! order completions arrive within a window — the recorder's streaming
+//! top-k always equals the offline sort under the same total order.
+
+use proptest::prelude::*;
+use rolo_obs::{critical_path, ranks_before, ExemplarRecorder, RequestSpan};
+use rolo_sim::{Duration, SimTime};
+use rolo_trace::ReqKind;
+
+/// Telemetry window used throughout (the paper default).
+const WINDOW_US: u64 = 60_000_000;
+
+/// A legless span completing at `end_us` with the given response; the
+/// recorder keys selection on the critical path's total, which for a
+/// completed span is exactly its duration.
+fn span_of(rid: u64, response_us: u64, end_us: u64) -> RequestSpan {
+    RequestSpan {
+        id: rid,
+        kind: ReqKind::Read,
+        begin: SimTime::from_micros(end_us - response_us),
+        end: SimTime::from_micros(end_us),
+        legs: Vec::new(),
+    }
+}
+
+fn recorder(k: usize) -> ExemplarRecorder {
+    ExemplarRecorder::new(k, Duration::from_micros(WINDOW_US), 256)
+}
+
+/// Feeds spans to a fresh recorder in the given order (all completions
+/// within one window) and returns the retained rids, slowest first.
+fn retained_rids(k: usize, spans: &[RequestSpan]) -> Vec<u64> {
+    let mut rec = recorder(k);
+    for s in spans {
+        rec.observe(s.end, s, &critical_path(s), &[]);
+    }
+    let set = rec.finish();
+    set.windows
+        .iter()
+        .flat_map(|w| w.spans.iter().map(|e| e.rid))
+        .collect()
+}
+
+/// One drawn completion: (response_us, permutation key). The rid is
+/// the draw's index, so rids are distinct and the selection order is
+/// total.
+type Draw = (u64, u64);
+
+fn completions() -> impl Strategy<Value = (Vec<Draw>, usize)> {
+    (
+        proptest::collection::vec((1u64..2_000_000, 0u64..1_000_000), 1..40),
+        1usize..10,
+    )
+}
+
+/// Builds the spans in draw order; completions land inside window 0
+/// (responses are < 2 s, the window is 60 s) at distinct instants so
+/// the stream looks like a real completion sequence.
+fn spans_of(draws: &[Draw]) -> Vec<RequestSpan> {
+    draws
+        .iter()
+        .enumerate()
+        .map(|(i, &(resp, _))| span_of(i as u64, resp, 2_000_000 + i as u64))
+        .collect()
+}
+
+proptest! {
+    /// Same stream, same order → byte-identical exemplar sets, twice.
+    #[test]
+    fn selection_is_deterministic(draw in completions()) {
+        let (draws, k) = draw;
+        let spans = spans_of(&draws);
+        let run = |spans: &[RequestSpan]| {
+            let mut rec = recorder(k);
+            for s in spans {
+                rec.observe(s.end, s, &critical_path(s), &[]);
+            }
+            rec.finish()
+        };
+        prop_assert_eq!(run(&spans), run(&spans));
+    }
+}
+
+proptest! {
+    /// No window ever retains more than k spans, whatever the stream
+    /// offers, and retained spans always carry their window's index.
+    #[test]
+    fn selection_is_bounded(
+        draw in completions(),
+        windows in proptest::collection::vec(0u64..5, 1..40),
+    ) {
+        let (draws, k) = draw;
+        // Spread completions over several (sorted, hence monotone)
+        // windows; extra draws beyond `windows` stay in the last one.
+        let mut wins = windows.clone();
+        wins.sort_unstable();
+        let mut rec = recorder(k);
+        for (i, &(resp, _)) in draws.iter().enumerate() {
+            let w = *wins.get(i).or(wins.last()).expect("non-empty");
+            let at = w * WINDOW_US + 2_000_000 + i as u64;
+            let s = span_of(i as u64, resp, at);
+            rec.observe(s.end, &s, &critical_path(&s), &[]);
+        }
+        let set = rec.finish();
+        for w in &set.windows {
+            prop_assert!(w.spans.len() <= k, "window {} holds {} > k = {k}", w.window, w.spans.len());
+            for e in &w.spans {
+                prop_assert_eq!(e.window, w.window);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Observation order within a window cannot change the selection:
+    /// the drawn order and the key-permuted order retain the same rids
+    /// in the same rank order, and both equal the offline sort under
+    /// `ranks_before`.
+    #[test]
+    fn selection_is_order_insensitive(draw in completions()) {
+        let (draws, k) = draw;
+        let spans = spans_of(&draws);
+        let mut permuted = spans.clone();
+        // A deterministic permutation drawn from the input: stable
+        // sort by the draw's key column.
+        permuted.sort_by_key(|s| draws[s.id as usize].1);
+
+        let a = retained_rids(k, &spans);
+        let b = retained_rids(k, &permuted);
+        prop_assert_eq!(&a, &b);
+
+        // Offline reference: full sort under the same total order.
+        let mut sorted: Vec<&RequestSpan> = spans.iter().collect();
+        sorted.sort_by(|x, y| {
+            if ranks_before(x.duration().as_micros(), x.id, y.duration().as_micros(), y.id) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        let expect: Vec<u64> = sorted.iter().take(k).map(|s| s.id).collect();
+        prop_assert_eq!(a, expect);
+
+        // And the shared offline helper agrees with the recorder.
+        let helper: Vec<u64> = rolo_obs::slowest_spans(&spans, k).iter().map(|s| s.id).collect();
+        prop_assert_eq!(b, helper);
+    }
+}
